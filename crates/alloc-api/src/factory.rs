@@ -1,0 +1,19 @@
+//! Factory for creating named slab caches on a chosen allocator design.
+
+use std::sync::Arc;
+
+use crate::traits::ObjectAllocator;
+
+/// Creates named object caches. Simulated kernel subsystems (`pbs-simfs`,
+/// `pbs-simnet`) take a factory so the *same* subsystem code runs over the
+/// SLUB baseline or Prudence — the comparison the paper's Figures 7–13
+/// make.
+///
+/// Implementations: `pbs_slub::SlubFactory` and `prudence::PrudenceFactory`.
+pub trait CacheFactory: Send + Sync {
+    /// Creates a cache named `name` serving `object_size`-byte objects.
+    fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator>;
+
+    /// Short label for reports ("slub" or "prudence").
+    fn label(&self) -> &str;
+}

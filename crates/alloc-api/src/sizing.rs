@@ -1,0 +1,161 @@
+//! SLUB-like sizing heuristics, shared by both allocators.
+//!
+//! Paper §4.3: "our implementation of Prudence in the Linux kernel reuses
+//! the existing heuristics employed by SLUB allocator to decide the size of
+//! the object cache, the size of a slab, the threshold after which the slab
+//! shrinking should be considered." Both allocators here consume the same
+//! [`SizingPolicy`], so differences in the figures come from reclamation
+//! design, not tuning.
+
+use pbs_mem::PAGE_SIZE;
+
+/// Bytes reserved at the base of every slab for the in-slab header that
+/// maps an object pointer back to its slab metadata.
+pub(crate) const SLAB_HEADER_RESERVE: usize = 64;
+
+/// Maximum slab order (slab bytes = `PAGE_SIZE << order`).
+const MAX_ORDER: u32 = 3;
+
+/// Minimum number of objects we try to fit in one slab.
+const MIN_OBJECTS_PER_SLAB: usize = 8;
+
+/// Sizing decisions for one slab cache.
+///
+/// # Example
+///
+/// ```
+/// use pbs_alloc_api::SizingPolicy;
+///
+/// let p = SizingPolicy::for_object_size(512);
+/// assert!(p.objects_per_slab >= 8);
+/// assert!(p.slab_bytes.is_power_of_two());
+/// // Larger objects get smaller per-CPU caches (paper §5.2: "larger
+/// // objects are normally optimized for memory efficiency").
+/// assert!(SizingPolicy::for_object_size(4096).object_cache_size
+///     < SizingPolicy::for_object_size(64).object_cache_size);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizingPolicy {
+    /// Size of each object in bytes (already aligned).
+    pub object_size: usize,
+    /// Bytes per slab (power of two; slabs are allocated aligned to this).
+    pub slab_bytes: usize,
+    /// Objects carved per slab (after the header reserve).
+    pub objects_per_slab: usize,
+    /// Capacity of the per-CPU object cache.
+    pub object_cache_size: usize,
+    /// Shrinking starts once a node holds more than this many free slabs.
+    pub free_slabs_limit: usize,
+    /// Number of cache-coloring offsets cycled across slabs.
+    pub colors: usize,
+}
+
+impl SizingPolicy {
+    /// Computes the policy for an object size, rounding the size up to
+    /// 8-byte alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_size` is zero or larger than half the maximum slab
+    /// size.
+    pub fn for_object_size(object_size: usize) -> Self {
+        assert!(object_size > 0, "object size must be non-zero");
+        let object_size = object_size.next_multiple_of(8);
+        let max_slab = PAGE_SIZE << MAX_ORDER;
+        assert!(
+            object_size <= max_slab / 2,
+            "object size {object_size} too large for max slab {max_slab}"
+        );
+        // Smallest order that fits MIN_OBJECTS_PER_SLAB objects, capped.
+        let mut order = 0;
+        let slab_bytes = loop {
+            let bytes = PAGE_SIZE << order;
+            let objs = (bytes - SLAB_HEADER_RESERVE) / object_size;
+            if objs >= MIN_OBJECTS_PER_SLAB || order == MAX_ORDER {
+                break bytes;
+            }
+            order += 1;
+        };
+        let objects_per_slab = (slab_bytes - SLAB_HEADER_RESERVE) / object_size;
+        Self {
+            object_size,
+            slab_bytes,
+            objects_per_slab,
+            object_cache_size: object_cache_size_for(object_size),
+            free_slabs_limit: 8,
+            colors: 8,
+        }
+    }
+
+    /// Usable object bytes per slab (for fragmentation accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.objects_per_slab * self.object_size
+    }
+}
+
+/// Historical SLAB-style per-CPU cache limits: big caches for small
+/// objects, small caches for large ones.
+fn object_cache_size_for(object_size: usize) -> usize {
+    match object_size {
+        0..=32 => 120,
+        33..=64 => 96,
+        65..=128 => 64,
+        129..=256 => 54,
+        257..=512 => 36,
+        513..=1024 => 24,
+        1025..=2048 => 16,
+        _ => 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_objects_use_single_page_slabs() {
+        let p = SizingPolicy::for_object_size(64);
+        assert_eq!(p.slab_bytes, PAGE_SIZE);
+        assert_eq!(p.objects_per_slab, (PAGE_SIZE - SLAB_HEADER_RESERVE) / 64);
+    }
+
+    #[test]
+    fn large_objects_grow_slab_order() {
+        let p = SizingPolicy::for_object_size(4096);
+        assert!(p.slab_bytes > PAGE_SIZE);
+        assert!(p.slab_bytes <= PAGE_SIZE << MAX_ORDER);
+        assert!(p.objects_per_slab >= 1);
+    }
+
+    #[test]
+    fn object_size_rounded_to_8() {
+        let p = SizingPolicy::for_object_size(13);
+        assert_eq!(p.object_size, 16);
+    }
+
+    #[test]
+    fn cache_size_monotonically_shrinks_with_object_size() {
+        let sizes = [8, 64, 128, 256, 512, 1024, 2048, 4096];
+        let caches: Vec<_> = sizes
+            .iter()
+            .map(|&s| SizingPolicy::for_object_size(s).object_cache_size)
+            .collect();
+        for pair in caches.windows(2) {
+            assert!(pair[0] >= pair[1], "cache sizes must not grow: {caches:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_object_size_panics() {
+        SizingPolicy::for_object_size(0);
+    }
+
+    #[test]
+    fn payload_fits_in_slab() {
+        for size in [8, 24, 100, 192, 700, 2048, 4096] {
+            let p = SizingPolicy::for_object_size(size);
+            assert!(p.payload_bytes() + SLAB_HEADER_RESERVE <= p.slab_bytes);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Full/partial/free slab list bookkeeping with O(1) moves.
+//!
+//! Slab allocators group slabs by occupancy (paper Figure 2 / Figure 4).
+//! Both allocators here track membership with this helper: each slab index
+//! lives on exactly one list, and moving a slab between lists is O(1).
+
+/// The list a slab currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ListKind {
+    /// All objects are out.
+    Full,
+    /// Some objects out, some free.
+    Partial,
+    /// All objects free (or expected to be free after a grace period, when
+    /// Prudence pre-moves a slab — paper §4.2, *Slab pre-movement*).
+    Free,
+}
+
+impl ListKind {
+    fn idx(self) -> usize {
+        match self {
+            ListKind::Full => 0,
+            ListKind::Partial => 1,
+            ListKind::Free => 2,
+        }
+    }
+}
+
+/// Tracks which of the three lists each slab index is on.
+///
+/// # Example
+///
+/// ```
+/// use pbs_alloc_api::{ListKind, SlabLists};
+///
+/// let mut lists = SlabLists::new();
+/// lists.insert(3, ListKind::Partial);
+/// assert_eq!(lists.kind_of(3), Some(ListKind::Partial));
+/// lists.move_to(3, ListKind::Full);
+/// assert_eq!(lists.list(ListKind::Full), &[3]);
+/// lists.remove(3);
+/// assert_eq!(lists.kind_of(3), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SlabLists {
+    lists: [Vec<usize>; 3],
+    /// `loc[slab] = Some((kind, position-in-list))`.
+    loc: Vec<Option<(ListKind, usize)>>,
+}
+
+impl SlabLists {
+    /// Creates empty lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a slab on a list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab is already on a list.
+    pub fn insert(&mut self, slab: usize, kind: ListKind) {
+        if self.loc.len() <= slab {
+            self.loc.resize(slab + 1, None);
+        }
+        assert!(self.loc[slab].is_none(), "slab {slab} already listed");
+        let list = &mut self.lists[kind.idx()];
+        list.push(slab);
+        self.loc[slab] = Some((kind, list.len() - 1));
+    }
+
+    /// Removes a slab from whatever list it is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab is not on any list.
+    pub fn remove(&mut self, slab: usize) {
+        let (kind, pos) = self.loc[slab].take().expect("slab not on any list");
+        let list = &mut self.lists[kind.idx()];
+        list.swap_remove(pos);
+        if let Some(&moved) = list.get(pos) {
+            self.loc[moved] = Some((kind, pos));
+        }
+    }
+
+    /// Moves a slab to `kind` (no-op if already there).
+    pub fn move_to(&mut self, slab: usize, kind: ListKind) {
+        if self.kind_of(slab) == Some(kind) {
+            return;
+        }
+        self.remove(slab);
+        self.insert(slab, kind);
+    }
+
+    /// Which list the slab is on, if any.
+    pub fn kind_of(&self, slab: usize) -> Option<ListKind> {
+        self.loc.get(slab).copied().flatten().map(|(k, _)| k)
+    }
+
+    /// The slabs currently on a list (unordered).
+    pub fn list(&self, kind: ListKind) -> &[usize] {
+        &self.lists[kind.idx()]
+    }
+
+    /// Number of slabs on a list.
+    pub fn len(&self, kind: ListKind) -> usize {
+        self.lists[kind.idx()].len()
+    }
+
+    /// Whether a list is empty.
+    pub fn is_empty(&self, kind: ListKind) -> bool {
+        self.lists[kind.idx()].is_empty()
+    }
+
+    /// First slab on a list, if any.
+    pub fn first(&self, kind: ListKind) -> Option<usize> {
+        self.lists[kind.idx()].first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_move_remove() {
+        let mut l = SlabLists::new();
+        l.insert(0, ListKind::Free);
+        l.insert(5, ListKind::Free);
+        l.insert(2, ListKind::Partial);
+        assert_eq!(l.len(ListKind::Free), 2);
+        l.move_to(0, ListKind::Partial);
+        assert_eq!(l.list(ListKind::Free), &[5]);
+        assert_eq!(l.kind_of(0), Some(ListKind::Partial));
+        l.remove(5);
+        assert!(l.is_empty(ListKind::Free));
+        assert_eq!(l.kind_of(5), None);
+    }
+
+    #[test]
+    fn swap_remove_fixes_positions() {
+        let mut l = SlabLists::new();
+        for i in 0..4 {
+            l.insert(i, ListKind::Partial);
+        }
+        l.remove(0); // 3 swaps into position 0
+        l.remove(3); // must still be findable
+        assert_eq!(l.len(ListKind::Partial), 2);
+        assert_eq!(l.kind_of(1), Some(ListKind::Partial));
+        assert_eq!(l.kind_of(2), Some(ListKind::Partial));
+    }
+
+    #[test]
+    fn move_to_same_list_is_noop() {
+        let mut l = SlabLists::new();
+        l.insert(1, ListKind::Full);
+        l.move_to(1, ListKind::Full);
+        assert_eq!(l.list(ListKind::Full), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already listed")]
+    fn double_insert_panics() {
+        let mut l = SlabLists::new();
+        l.insert(1, ListKind::Full);
+        l.insert(1, ListKind::Free);
+    }
+
+    #[test]
+    fn first_returns_head() {
+        let mut l = SlabLists::new();
+        assert_eq!(l.first(ListKind::Partial), None);
+        l.insert(9, ListKind::Partial);
+        l.insert(4, ListKind::Partial);
+        assert_eq!(l.first(ListKind::Partial), Some(9));
+    }
+}

@@ -1,0 +1,334 @@
+//! Slab-cache statistics: the raw material for the paper's Figures 7–11.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Live atomic counters maintained by a slab cache.
+///
+/// Allocators update these on their hot paths; experiments read a
+/// [`CacheStatsSnapshot`] at the end of a run.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Allocation requests served (successfully).
+    pub alloc_requests: AtomicU64,
+    /// Allocations served directly from the per-CPU object cache.
+    pub cache_hits: AtomicU64,
+    /// Allocations served after merging safe deferred objects from the
+    /// latent cache (Prudence only; counted as hits for Figure 7, tracked
+    /// separately for diagnostics).
+    pub latent_hits: AtomicU64,
+    /// Immediate frees.
+    pub frees: AtomicU64,
+    /// Deferred frees (`free_deferred`).
+    pub deferred_frees: AtomicU64,
+    /// Object-cache refill operations (from node slabs).
+    pub refills: AtomicU64,
+    /// Refills that were *partial* because deferred objects were pending in
+    /// the latent cache (Prudence optimization, §4.2).
+    pub partial_refills: AtomicU64,
+    /// Object-cache flush operations (to node slabs).
+    pub flushes: AtomicU64,
+    /// Latent-cache pre-flush operations performed off the hot path.
+    pub preflushes: AtomicU64,
+    /// Slab-cache grow operations (slabs allocated from the page allocator).
+    pub grows: AtomicU64,
+    /// Slab-cache shrink operations (slabs returned to the page allocator).
+    pub shrinks: AtomicU64,
+    /// Slab pre-movements between full/partial/free lists (Prudence, §4.2).
+    pub pre_movements: AtomicU64,
+    /// Times the node-list lock was contended (try_lock failed).
+    pub node_lock_contended: AtomicU64,
+    /// Times an allocation had to wait for a grace period under memory
+    /// pressure instead of triggering OOM (Prudence, §4.2).
+    pub oom_waits: AtomicU64,
+    /// Slabs currently allocated.
+    pub slabs_current: AtomicUsize,
+    /// Peak of `slabs_current`.
+    pub slabs_peak: AtomicUsize,
+    /// Objects currently live from the cache user's perspective
+    /// (allocated − freed − deferred-freed). Deferred objects stop being
+    /// "requested" at defer time, matching the paper's fragmentation
+    /// accounting.
+    pub live_objects: AtomicI64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a slab was allocated, maintaining the peak watermark.
+    pub fn record_grow(&self) {
+        self.grows.fetch_add(1, Ordering::Relaxed);
+        let now = self.slabs_current.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut peak = self.slabs_peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self.slabs_peak.compare_exchange_weak(
+                peak,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
+    }
+
+    /// Records that a slab was returned to the page allocator.
+    pub fn record_shrink(&self) {
+        self.shrinks.fetch_add(1, Ordering::Relaxed);
+        self.slabs_current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self, object_size: usize, slab_bytes: usize) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            object_size,
+            slab_bytes,
+            alloc_requests: self.alloc_requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            latent_hits: self.latent_hits.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            deferred_frees: self.deferred_frees.load(Ordering::Relaxed),
+            refills: self.refills.load(Ordering::Relaxed),
+            partial_refills: self.partial_refills.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            preflushes: self.preflushes.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            pre_movements: self.pre_movements.load(Ordering::Relaxed),
+            node_lock_contended: self.node_lock_contended.load(Ordering::Relaxed),
+            oom_waits: self.oom_waits.load(Ordering::Relaxed),
+            slabs_current: self.slabs_current.load(Ordering::Relaxed),
+            slabs_peak: self.slabs_peak.load(Ordering::Relaxed),
+            live_objects: self.live_objects.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+}
+
+/// Immutable snapshot of [`CacheStats`] plus derived metrics.
+///
+/// # Example
+///
+/// ```
+/// use pbs_alloc_api::CacheStats;
+///
+/// let stats = CacheStats::new();
+/// stats.record_grow();
+/// let snap = stats.snapshot(64, 4096);
+/// assert_eq!(snap.slabs_peak, 1);
+/// assert_eq!(snap.slab_churns(), 0); // a grow without a shrink is not a churn pair
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CacheStatsSnapshot {
+    /// Object size of the cache.
+    pub object_size: usize,
+    /// Bytes per slab.
+    pub slab_bytes: usize,
+    /// See [`CacheStats`] field docs for each counter.
+    pub alloc_requests: u64,
+    /// Allocations served directly from the object cache.
+    pub cache_hits: u64,
+    /// Allocations served from merged-in safe deferred objects.
+    pub latent_hits: u64,
+    /// Immediate frees.
+    pub frees: u64,
+    /// Deferred frees.
+    pub deferred_frees: u64,
+    /// Object-cache refills.
+    pub refills: u64,
+    /// Partial refills.
+    pub partial_refills: u64,
+    /// Object-cache flushes.
+    pub flushes: u64,
+    /// Latent-cache pre-flushes.
+    pub preflushes: u64,
+    /// Slab grow operations.
+    pub grows: u64,
+    /// Slab shrink operations.
+    pub shrinks: u64,
+    /// Slab pre-movements.
+    pub pre_movements: u64,
+    /// Contended node-lock acquisitions.
+    pub node_lock_contended: u64,
+    /// OOM-deferral waits.
+    pub oom_waits: u64,
+    /// Slabs currently held.
+    pub slabs_current: usize,
+    /// Peak slabs held (Figure 10).
+    pub slabs_peak: usize,
+    /// Live (requested) objects at snapshot time.
+    pub live_objects: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Percentage of allocation requests served from the object cache
+    /// (Figure 7). Latent-cache merges count as hits, as in the paper:
+    /// "eligible deferred objects ... are merged into the object cache and
+    /// the allocation request is served from the object cache".
+    pub fn hit_percent(&self) -> f64 {
+        if self.alloc_requests == 0 {
+            return 0.0;
+        }
+        100.0 * (self.cache_hits + self.latent_hits) as f64 / self.alloc_requests as f64
+    }
+
+    /// Object-cache churns: pairs of refill/flush operations (Figure 8).
+    pub fn object_cache_churns(&self) -> u64 {
+        self.refills.min(self.flushes)
+    }
+
+    /// Slab churns: pairs of grow/shrink operations (Figure 9).
+    pub fn slab_churns(&self) -> u64 {
+        self.grows.min(self.shrinks)
+    }
+
+    /// Total frees of any kind.
+    pub fn total_frees(&self) -> u64 {
+        self.frees + self.deferred_frees
+    }
+
+    /// Percentage of frees that were deferred (Figure 12).
+    pub fn deferred_free_percent(&self) -> f64 {
+        let total = self.total_frees();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.deferred_frees as f64 / total as f64
+    }
+
+    /// Total fragmentation `f_t = allocated / requested` (paper §4.2):
+    /// slab memory held by the allocator divided by memory the cache user
+    /// actually has live. Returns `None` when no objects are live.
+    pub fn total_fragmentation(&self) -> Option<f64> {
+        let requested = self.live_objects * self.object_size as u64;
+        if requested == 0 {
+            return None;
+        }
+        Some((self.slabs_current * self.slab_bytes) as f64 / requested as f64)
+    }
+
+    /// Folds another snapshot into this one (summing counters, taking max
+    /// of peaks). Useful for aggregating per-CPU or per-class stats.
+    pub fn merge(&mut self, other: &CacheStatsSnapshot) {
+        self.alloc_requests += other.alloc_requests;
+        self.cache_hits += other.cache_hits;
+        self.latent_hits += other.latent_hits;
+        self.frees += other.frees;
+        self.deferred_frees += other.deferred_frees;
+        self.refills += other.refills;
+        self.partial_refills += other.partial_refills;
+        self.flushes += other.flushes;
+        self.preflushes += other.preflushes;
+        self.grows += other.grows;
+        self.shrinks += other.shrinks;
+        self.pre_movements += other.pre_movements;
+        self.node_lock_contended += other.node_lock_contended;
+        self.oom_waits += other.oom_waits;
+        self.slabs_current += other.slabs_current;
+        self.slabs_peak += other.slabs_peak;
+        self.live_objects += other.live_objects;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(f: impl FnOnce(&CacheStats)) -> CacheStatsSnapshot {
+        let s = CacheStats::new();
+        f(&s);
+        s.snapshot(64, 4096)
+    }
+
+    #[test]
+    fn hit_percent_counts_latent_hits() {
+        let snap = snap_with(|s| {
+            s.alloc_requests.store(10, Ordering::Relaxed);
+            s.cache_hits.store(6, Ordering::Relaxed);
+            s.latent_hits.store(2, Ordering::Relaxed);
+        });
+        assert!((snap.hit_percent() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_percent_zero_requests() {
+        assert_eq!(snap_with(|_| {}).hit_percent(), 0.0);
+    }
+
+    #[test]
+    fn churns_are_pairs() {
+        let snap = snap_with(|s| {
+            s.refills.store(10, Ordering::Relaxed);
+            s.flushes.store(7, Ordering::Relaxed);
+            s.grows.store(3, Ordering::Relaxed);
+            s.shrinks.store(5, Ordering::Relaxed);
+        });
+        assert_eq!(snap.object_cache_churns(), 7);
+        assert_eq!(snap.slab_churns(), 3);
+    }
+
+    #[test]
+    fn deferred_free_percent() {
+        let snap = snap_with(|s| {
+            s.frees.store(75, Ordering::Relaxed);
+            s.deferred_frees.store(25, Ordering::Relaxed);
+        });
+        assert!((snap.deferred_free_percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragmentation_formula() {
+        let snap = snap_with(|s| {
+            s.slabs_current.store(2, Ordering::Relaxed);
+            s.live_objects.store(64, Ordering::Relaxed);
+        });
+        // 2 slabs * 4096 B / (64 objects * 64 B) = 2.0
+        assert!((snap.total_fragmentation().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragmentation_none_when_no_live_objects() {
+        assert_eq!(snap_with(|_| {}).total_fragmentation(), None);
+    }
+
+    #[test]
+    fn grow_shrink_update_peak() {
+        let s = CacheStats::new();
+        s.record_grow();
+        s.record_grow();
+        s.record_shrink();
+        s.record_grow();
+        let snap = s.snapshot(8, 4096);
+        assert_eq!(snap.slabs_current, 2);
+        assert_eq!(snap.slabs_peak, 2);
+        assert_eq!(snap.grows, 3);
+        assert_eq!(snap.shrinks, 1);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = snap_with(|s| {
+            s.alloc_requests.store(5, Ordering::Relaxed);
+            s.cache_hits.store(5, Ordering::Relaxed);
+        });
+        let b = snap_with(|s| {
+            s.alloc_requests.store(5, Ordering::Relaxed);
+            s.cache_hits.store(1, Ordering::Relaxed);
+        });
+        a.merge(&b);
+        assert_eq!(a.alloc_requests, 10);
+        assert!((a.hit_percent() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let snap = snap_with(|s| s.alloc_requests.store(1, Ordering::Relaxed));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

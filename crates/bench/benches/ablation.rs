@@ -1,0 +1,54 @@
+//! Ablations of the §4.2 design choices (DESIGN.md experiment index):
+//! each Prudence optimization is disabled in turn and the deferred-pair
+//! loop re-measured, quantifying what the latent cache, partial refill,
+//! idle pre-flush, proportional flush, deferred-aware slab selection and
+//! the 10-slab scan window each contribute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pbs_alloc_api::ObjectAllocator;
+use prudence::PrudenceConfig;
+
+fn variants() -> Vec<(&'static str, PrudenceConfig)> {
+    let base = PrudenceConfig::new(2);
+    vec![
+        ("full", base.clone()),
+        ("no_latent_cache", base.clone().with_latent_cache(false)),
+        ("no_partial_refill", base.clone().with_partial_refill(false)),
+        ("no_preflush", base.clone().with_preflush(false)),
+        (
+            "no_proportional_flush",
+            base.clone().with_proportional_flush(false),
+        ),
+        (
+            "no_deferred_selection",
+            base.clone().with_deferred_aware_selection(false),
+        ),
+        ("scan_window_1", base.clone().with_slab_scan_window(1)),
+        ("scan_window_100", base.with_slab_scan_window(100)),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_deferred_pairs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, config) in variants() {
+        let cache = pbs_bench::prudence_cache_with(config, 512);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new(name, 512), &(), |b, ()| {
+            b.iter(|| pbs_bench::deferred_pair(cache.as_ref()));
+        });
+        cache.quiesce();
+        let s = cache.stats();
+        println!(
+            "ablation {name}: refills={} flushes={} grows={} shrinks={} peak={} preflushes={} pre_movements={}",
+            s.refills, s.flushes, s.grows, s.shrinks, s.slabs_peak, s.preflushes, s.pre_movements
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §3.3 cost table: cache-hit vs refill vs grow allocation regimes on the
+//! baseline allocator. The paper reports refill ≈ 4× and grow ≈ 14× the
+//! hit cost; the derived multiples are printed after the timed runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::alloc_cost::measure_alloc_cost;
+use pbs_workloads::{AllocatorKind, Testbed};
+
+fn bench_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_cost_s33");
+    group.sample_size(20);
+
+    // Hit regime: steady alloc/free of one object.
+    {
+        let bed = Testbed::new(AllocatorKind::Slub, 1, RcuConfig::eager(), None);
+        let cache = bed.create_cache("hit", 512);
+        group.bench_function("hit_pair", |b| {
+            b.iter(|| {
+                let o = cache.allocate().expect("alloc");
+                // SAFETY: freed exactly once, immediately.
+                unsafe { cache.free(o) };
+            });
+        });
+    }
+
+    // Refill regime: cycle 2x the object cache through alloc/free.
+    {
+        let bed = Testbed::new(AllocatorKind::Slub, 1, RcuConfig::eager(), None);
+        let cache = bed.create_cache("refill", 512);
+        let batch = 2 * pbs_alloc_api::SizingPolicy::for_object_size(512).object_cache_size;
+        let mut held = Vec::with_capacity(batch);
+        group.bench_function("refill_cycle_per_obj", |b| {
+            b.iter(|| {
+                for _ in 0..batch {
+                    held.push(cache.allocate().expect("alloc"));
+                }
+                for o in held.drain(..) {
+                    // SAFETY: each held object freed once.
+                    unsafe { cache.free(o) };
+                }
+            });
+        });
+    }
+
+    group.finish();
+
+    // The derived §3.3 table.
+    let report = measure_alloc_cost(512, 200_000);
+    println!("{}", report.render());
+}
+
+criterion_group!(benches, bench_regimes);
+criterion_main!(benches);

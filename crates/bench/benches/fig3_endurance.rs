@@ -1,0 +1,54 @@
+//! Figure 3 (short form): update throughput and memory behaviour of the
+//! endurance workload. The full 10-second memory curve (and the baseline
+//! OOM) is produced by `cargo run --release -p pbs-workloads --bin
+//! endurance`; here Criterion measures sustained update cost per
+//! allocator, and the summary printed at the end records the memory
+//! outcome of one short run each.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pbs_workloads::endurance::{run_endurance, EnduranceParams};
+use pbs_workloads::AllocatorKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_endurance");
+    group.sample_size(10);
+    for kind in AllocatorKind::BOTH {
+        group.bench_with_input(BenchmarkId::new(kind.label(), "burst"), &kind, |b, &kind| {
+            b.iter_custom(|iters| {
+                let params = EnduranceParams {
+                    threads: 2,
+                    list_entries: 64,
+                    // Scale work with requested iterations, bounded so a
+                    // sample stays sub-second.
+                    duration: Duration::from_millis((iters * 20).clamp(100, 800)),
+                    memory_limit: 96 << 20,
+                    sample_interval: Duration::from_millis(10),
+                };
+                let start = std::time::Instant::now();
+                let report = run_endurance(kind, &params);
+                // Normalize: report time per requested iteration bundle.
+                start.elapsed().div_f64((report.updates.max(1)) as f64) * iters as u32
+            });
+        });
+    }
+    group.finish();
+
+    // Memory-shape summary (the actual Figure 3 claim).
+    let params = EnduranceParams {
+        threads: 2,
+        list_entries: 64,
+        duration: Duration::from_millis(1500),
+        memory_limit: 8 << 20,
+        sample_interval: Duration::from_millis(10),
+    };
+    for kind in AllocatorKind::BOTH {
+        let report = run_endurance(kind, &params);
+        println!("fig3 summary: {}", report.render());
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

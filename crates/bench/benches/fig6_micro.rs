@@ -1,0 +1,37 @@
+//! Figure 6: kmalloc/kfree_deferred pairs per second, SLUB vs Prudence,
+//! across object sizes. Criterion reports time per pair; the paper's
+//! pairs/second is its reciprocal. The paper's shape to look for: Prudence
+//! is faster at every size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::{AllocatorKind, Testbed};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_deferred_pairs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &size in &[128usize, 512, 1024, 4096] {
+        for kind in AllocatorKind::BOTH {
+            // One testbed per measurement so deferred backlogs never leak
+            // between configurations.
+            let bed = Testbed::new(kind, 2, RcuConfig::linux_like(), None);
+            let cache = bed.create_cache("fig6", size);
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size),
+                &size,
+                |b, _| {
+                    b.iter(|| pbs_bench::deferred_pair(cache.as_ref()));
+                },
+            );
+            cache.quiesce();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

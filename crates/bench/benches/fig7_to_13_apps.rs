@@ -1,0 +1,56 @@
+//! Figures 7–13: the application benchmarks (Postmark, Netperf, Apache,
+//! pgbench) on both allocators. Criterion measures transaction cost
+//! (Figure 13's throughput is the reciprocal); the per-cache attribute
+//! tables (Figures 7–11) and deferred-free mix (Figure 12) are printed
+//! after the timed runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pbs_workloads::apps::{compare, run_apache, run_netperf, run_pgbench, run_postmark, AppParams};
+use pbs_workloads::AllocatorKind;
+
+fn bench_params() -> AppParams {
+    AppParams {
+        threads: 2,
+        transactions_per_thread: 2_000,
+        pool_size: 50,
+        seed: 0x5EED,
+    }
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_apps");
+    group.sample_size(10);
+    type Runner = fn(AllocatorKind, &AppParams) -> pbs_workloads::AppResult;
+    for (name, runner) in [
+        ("postmark", run_postmark as Runner),
+        ("netperf", run_netperf as Runner),
+        ("apache", run_apache as Runner),
+        ("pgbench", run_pgbench as Runner),
+    ] {
+        for kind in AllocatorKind::BOTH {
+            group.bench_with_input(BenchmarkId::new(name, kind.label()), &kind, |b, &kind| {
+                b.iter_custom(|iters| {
+                    let params = AppParams {
+                        transactions_per_thread: 500 * iters.clamp(1, 8),
+                        ..bench_params()
+                    };
+                    let result = runner(kind, &params);
+                    std::time::Duration::from_secs_f64(result.seconds)
+                        .div_f64(result.ops.max(1) as f64)
+                        * (iters as u32)
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Per-cache attribute tables (Figures 7-12).
+    for name in ["postmark", "netperf", "apache", "pgbench"] {
+        let cmp = compare(name, &bench_params());
+        println!("{}", cmp.render());
+    }
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

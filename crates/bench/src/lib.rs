@@ -1,0 +1,43 @@
+//! # pbs-bench — Criterion benchmark harness
+//!
+//! One bench target per table/figure of the paper's evaluation:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `alloc_cost` | §3.3 hit/refill/grow cost table |
+//! | `fig3_endurance` | Figure 3 (short form; see the `endurance` binary for the full curve) |
+//! | `fig6_micro` | Figure 6 microbenchmark sweep |
+//! | `fig7_to_13_apps` | Figures 7–13 application benchmarks |
+//! | `ablation` | per-optimization ablations of the §4.2 design choices |
+//!
+//! Run with `cargo bench --workspace`. Long-form experiments (the full
+//! Figure 3 curve, paper-scale transaction counts) live in the
+//! `pbs-workloads` binaries; the Criterion targets here use reduced
+//! parameters so the whole suite completes in minutes.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::ObjectAllocator;
+use pbs_mem::PageAllocator;
+use pbs_rcu::{Rcu, RcuConfig};
+use prudence::{PrudenceCache, PrudenceConfig};
+
+/// Builds a Prudence cache with a given configuration on fresh substrates
+/// (shared by the ablation benches).
+pub fn prudence_cache_with(config: PrudenceConfig, object_size: usize) -> Arc<PrudenceCache> {
+    let pages = Arc::new(PageAllocator::new());
+    let rcu = Arc::new(Rcu::with_config(RcuConfig::linux_like()));
+    Arc::new(PrudenceCache::new("bench", object_size, config, pages, rcu))
+}
+
+/// One kmalloc/kfree_deferred pair on any allocator (the Figure 6 inner
+/// loop body). Allocation failures panic (benches run without memory
+/// limits).
+pub fn deferred_pair(cache: &dyn ObjectAllocator) {
+    let obj = cache.allocate().expect("bench allocation");
+    // SAFETY: fresh exclusive object, deferred exactly once.
+    unsafe {
+        obj.as_ptr().cast::<u64>().write(0xBEEF);
+        cache.free_deferred(obj);
+    }
+}

@@ -1,0 +1,137 @@
+//! Configuration and ablation switches for the Prudence allocator.
+
+/// Tuning knobs for a [`PrudenceCache`](crate::PrudenceCache).
+///
+/// Every §4.2 optimization can be toggled independently so the benchmark
+/// harness can run ablations (see `DESIGN.md`). The defaults enable the
+/// full design exactly as the paper describes it.
+///
+/// # Example
+///
+/// ```
+/// use prudence::PrudenceConfig;
+///
+/// let full = PrudenceConfig::new(8);
+/// assert!(full.preflush && full.partial_refill);
+///
+/// let no_hints = PrudenceConfig::new(8)
+///     .with_deferred_aware_selection(false)
+///     .with_partial_refill(false);
+/// assert!(!no_hints.partial_refill);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrudenceConfig {
+    /// Number of CPU slots (per-CPU object/latent cache pairs).
+    pub ncpus: usize,
+    /// Keep deferred objects in per-CPU latent caches (§4.1). When
+    /// disabled, deferred objects go straight to latent slabs.
+    pub latent_cache: bool,
+    /// Refill only `cache_size − latent_count` objects when deferred
+    /// objects are pending (§4.2, *Object cache refill*).
+    pub partial_refill: bool,
+    /// Schedule idle-time latent-cache pre-flush when a post-grace-period
+    /// overflow is foreseen (§4.2, *Latent cache pre-flush*).
+    pub preflush: bool,
+    /// Flush more objects when more deferred objects are pending (§4.2,
+    /// *Object cache flush*).
+    pub proportional_flush: bool,
+    /// Consider deferred objects when selecting a slab for refill (§4.2,
+    /// *Reduces total fragmentation*, Figure 5).
+    pub deferred_aware_selection: bool,
+    /// How many partial slabs to scan during selection (the paper uses 10
+    /// as a latency/fragmentation trade-off, §5.4).
+    pub slab_scan_window: usize,
+    /// How many grace periods to wait for deferred objects before
+    /// reporting out-of-memory (§4.2, *Handling memory pressure*).
+    pub oom_retries: usize,
+}
+
+impl PrudenceConfig {
+    /// The full Prudence design for `ncpus` CPU slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncpus` is zero.
+    pub fn new(ncpus: usize) -> Self {
+        assert!(ncpus > 0, "need at least one CPU slot");
+        Self {
+            ncpus,
+            latent_cache: true,
+            partial_refill: true,
+            preflush: true,
+            proportional_flush: true,
+            deferred_aware_selection: true,
+            slab_scan_window: 10,
+            oom_retries: 4,
+        }
+    }
+
+    /// Toggles the latent cache (ablation).
+    pub fn with_latent_cache(mut self, on: bool) -> Self {
+        self.latent_cache = on;
+        self
+    }
+
+    /// Toggles partial refill (ablation).
+    pub fn with_partial_refill(mut self, on: bool) -> Self {
+        self.partial_refill = on;
+        self
+    }
+
+    /// Toggles idle pre-flush (ablation).
+    pub fn with_preflush(mut self, on: bool) -> Self {
+        self.preflush = on;
+        self
+    }
+
+    /// Toggles proportional flush (ablation).
+    pub fn with_proportional_flush(mut self, on: bool) -> Self {
+        self.proportional_flush = on;
+        self
+    }
+
+    /// Toggles deferred-aware slab selection (ablation).
+    pub fn with_deferred_aware_selection(mut self, on: bool) -> Self {
+        self.deferred_aware_selection = on;
+        self
+    }
+
+    /// Sets the partial-list scan window.
+    pub fn with_slab_scan_window(mut self, window: usize) -> Self {
+        self.slab_scan_window = window.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let c = PrudenceConfig::new(2);
+        assert!(c.latent_cache);
+        assert!(c.partial_refill);
+        assert!(c.preflush);
+        assert!(c.proportional_flush);
+        assert!(c.deferred_aware_selection);
+        assert_eq!(c.slab_scan_window, 10);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = PrudenceConfig::new(2)
+            .with_latent_cache(false)
+            .with_preflush(false)
+            .with_slab_scan_window(0);
+        assert!(!c.latent_cache);
+        assert!(!c.preflush);
+        assert_eq!(c.slab_scan_window, 1, "window clamped to at least 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_cpus_rejected() {
+        PrudenceConfig::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-CPU allocator state: the object cache and its latent cache.
+
+use std::collections::VecDeque;
+
+use pbs_alloc_api::ObjPtr;
+use pbs_rcu::GpState;
+
+/// One CPU slot's caches (paper Figure 4, left side).
+///
+/// * `obj_cache` — free objects ready to serve allocations.
+/// * `latent` — deferred objects stamped with the grace-period state at
+///   defer time, oldest first. Hidden from allocation until their grace
+///   period completes, then merged into `obj_cache`.
+///
+/// Rate counters feed the pre-flush aggressiveness decision (§4.2: be
+/// aggressive when frees outpace allocations, lazy otherwise).
+#[derive(Debug, Default)]
+pub(crate) struct CpuState {
+    pub(crate) obj_cache: Vec<ObjPtr>,
+    pub(crate) latent: VecDeque<(ObjPtr, GpState)>,
+    pub(crate) allocs_since: u64,
+    pub(crate) frees_since: u64,
+    pub(crate) defers_since: u64,
+    pub(crate) preflush_pending: bool,
+}
+
+impl CpuState {
+    /// Moves latent objects whose grace period has completed into the
+    /// object cache, up to `capacity` (Algorithm 1, MERGE_CACHES,
+    /// lines 60-65). Stamps are non-decreasing front-to-back, so a failed
+    /// front check ends the merge. Returns the number merged.
+    pub(crate) fn merge_caches(&mut self, epoch: u64, capacity: usize) -> usize {
+        let mut merged = 0;
+        while self.obj_cache.len() < capacity {
+            match self.latent.front() {
+                Some(&(_, gp)) if gp.is_completed_at(epoch) => {
+                    let (obj, _) = self.latent.pop_front().expect("front exists");
+                    self.obj_cache.push(obj);
+                    merged += 1;
+                }
+                _ => break,
+            }
+        }
+        merged
+    }
+
+    /// Objects held in both caches together (the pre-flush trigger
+    /// compares this against the object-cache size, lines 41-42).
+    pub(crate) fn total_cached(&self) -> usize {
+        self.obj_cache.len() + self.latent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ptr::NonNull;
+
+    fn obj(addr: usize) -> ObjPtr {
+        ObjPtr::new(NonNull::new(addr as *mut u8).unwrap())
+    }
+
+    fn gp(epoch: u64) -> GpState {
+        // GpState is opaque; fabricate via transmute-free path: epoch 0
+        // states come from a fresh Rcu. For unit tests we use the fact that
+        // is_completed_at(e) == e >= raw + 2 and construct via Rcu.
+        let rcu = pbs_rcu::Rcu::new();
+        let mut state = rcu.gp_state();
+        while state.raw_epoch() < epoch {
+            rcu.synchronize();
+            state = rcu.gp_state();
+        }
+        state
+    }
+
+    #[test]
+    fn merge_respects_grace_period() {
+        let mut cpu = CpuState::default();
+        let early = gp(0);
+        cpu.latent.push_back((obj(0x1000), early));
+        cpu.latent.push_back((obj(0x2000), early));
+        let raw = early.raw_epoch();
+        assert_eq!(cpu.merge_caches(raw + 1, 10), 0, "grace period incomplete");
+        assert_eq!(cpu.merge_caches(raw + 2, 10), 2);
+        assert_eq!(cpu.obj_cache.len(), 2);
+        assert!(cpu.latent.is_empty());
+    }
+
+    #[test]
+    fn merge_respects_capacity() {
+        let mut cpu = CpuState::default();
+        let early = gp(0);
+        for i in 0..5 {
+            cpu.latent.push_back((obj(0x1000 + i * 8), early));
+        }
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 3), 3);
+        assert_eq!(cpu.obj_cache.len(), 3);
+        assert_eq!(cpu.latent.len(), 2);
+    }
+
+    #[test]
+    fn merge_stops_at_incomplete_front() {
+        let mut cpu = CpuState::default();
+        let early = gp(0);
+        let later = gp(early.raw_epoch() + 4);
+        cpu.latent.push_back((obj(0x1000), later)); // newer stamp in front
+        cpu.latent.push_back((obj(0x2000), early));
+        // Front not complete at early+2 even though the one behind is;
+        // merge is conservative and stops.
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 10), 0);
+    }
+
+    #[test]
+    fn total_cached_counts_both() {
+        let mut cpu = CpuState::default();
+        cpu.obj_cache.push(obj(0x10));
+        cpu.latent.push_back((obj(0x20), gp(0)));
+        assert_eq!(cpu.total_cached(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Factory producing Prudence caches.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::{CacheFactory, ObjectAllocator};
+use pbs_mem::PageAllocator;
+use pbs_rcu::Rcu;
+
+use crate::{PrudenceCache, PrudenceConfig};
+
+/// Creates [`PrudenceCache`]s sharing one page allocator, RCU domain and
+/// configuration.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pbs_alloc_api::CacheFactory;
+/// use pbs_mem::PageAllocator;
+/// use pbs_rcu::Rcu;
+/// use prudence::{PrudenceConfig, PrudenceFactory};
+///
+/// let f = PrudenceFactory::new(
+///     PrudenceConfig::new(4),
+///     Arc::new(PageAllocator::new()),
+///     Arc::new(Rcu::new()),
+/// );
+/// let cache = f.create_cache("dentry", 192);
+/// assert_eq!(cache.object_size(), 192);
+/// assert_eq!(f.label(), "prudence");
+/// ```
+#[derive(Debug)]
+pub struct PrudenceFactory {
+    config: PrudenceConfig,
+    pages: Arc<PageAllocator>,
+    rcu: Arc<Rcu>,
+}
+
+impl PrudenceFactory {
+    /// Creates a factory; every cache it mints shares `pages`, `rcu` and
+    /// `config`.
+    pub fn new(config: PrudenceConfig, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
+        Self { config, pages, rcu }
+    }
+
+    /// The shared page allocator.
+    pub fn pages(&self) -> &Arc<PageAllocator> {
+        &self.pages
+    }
+
+    /// The shared RCU domain.
+    pub fn rcu(&self) -> &Arc<Rcu> {
+        &self.rcu
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &PrudenceConfig {
+        &self.config
+    }
+}
+
+impl CacheFactory for PrudenceFactory {
+    fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
+        Arc::new(PrudenceCache::new(
+            name,
+            object_size,
+            self.config.clone(),
+            Arc::clone(&self.pages),
+            Arc::clone(&self.rcu),
+        ))
+    }
+
+    fn label(&self) -> &str {
+        "prudence"
+    }
+}

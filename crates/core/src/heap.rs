@@ -1,0 +1,165 @@
+//! kmalloc-style front end over Prudence size-class caches.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::{
+    class_index_for, AllocError, CacheStatsSnapshot, ObjPtr, ObjectAllocator, SIZE_CLASSES,
+};
+use pbs_mem::PageAllocator;
+use pbs_rcu::Rcu;
+
+use crate::{PrudenceCache, PrudenceConfig};
+
+/// A general-purpose Prudence front end: one [`PrudenceCache`] per kmalloc
+/// size class. This is the allocator behind the paper's
+/// `kfree_deferred()` evaluation API (§5).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pbs_mem::PageAllocator;
+/// use pbs_rcu::Rcu;
+/// use prudence::{PrudenceConfig, PrudenceHeap};
+///
+/// let heap = PrudenceHeap::new(
+///     PrudenceConfig::new(4),
+///     Arc::new(PageAllocator::new()),
+///     Arc::new(Rcu::new()),
+/// );
+/// let obj = heap.kmalloc(100)?;
+/// unsafe { heap.kfree_deferred(obj, 100) }; // paper Listing 2
+/// heap.quiesce();
+/// # Ok::<(), pbs_alloc_api::AllocError>(())
+/// ```
+#[derive(Debug)]
+pub struct PrudenceHeap {
+    caches: Vec<Arc<PrudenceCache>>,
+}
+
+impl PrudenceHeap {
+    /// Creates the full set of size-class caches sharing one configuration.
+    pub fn new(config: PrudenceConfig, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
+        let caches = SIZE_CLASSES
+            .iter()
+            .map(|&size| {
+                Arc::new(PrudenceCache::new(
+                    &format!("kmalloc-{size}"),
+                    size,
+                    config.clone(),
+                    Arc::clone(&pages),
+                    Arc::clone(&rcu),
+                ))
+            })
+            .collect();
+        Self { caches }
+    }
+
+    fn class_for(&self, size: usize) -> Result<&Arc<PrudenceCache>, AllocError> {
+        class_index_for(size)
+            .map(|i| &self.caches[i])
+            .ok_or(AllocError::OutOfMemory)
+    }
+
+    /// Allocates `size` bytes from the smallest fitting size class.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `size` exceeds the largest class or memory is exhausted
+    /// even after waiting for deferred objects.
+    pub fn kmalloc(&self, size: usize) -> Result<ObjPtr, AllocError> {
+        self.class_for(size)?.allocate()
+    }
+
+    /// Frees an object previously allocated with `kmalloc(size)`.
+    ///
+    /// # Safety
+    ///
+    /// `obj` must come from [`kmalloc`](Self::kmalloc) on this heap with a
+    /// size mapping to the same class, freed exactly once, not used after.
+    pub unsafe fn kfree(&self, obj: ObjPtr, size: usize) {
+        self.class_for(size).expect("size was allocatable").free(obj);
+    }
+
+    /// The paper's `kfree_deferred()`: defers the free until after a grace
+    /// period, keeping the object visible to the allocator meanwhile.
+    ///
+    /// # Safety
+    ///
+    /// As [`kfree`](Self::kfree); additionally the object must already be
+    /// unreachable for new readers.
+    pub unsafe fn kfree_deferred(&self, obj: ObjPtr, size: usize) {
+        self.class_for(size)
+            .expect("size was allocatable")
+            .free_deferred(obj);
+    }
+
+    /// The cache serving a given size.
+    pub fn cache_for(&self, size: usize) -> Option<&Arc<PrudenceCache>> {
+        class_index_for(size).map(|i| &self.caches[i])
+    }
+
+    /// All size-class caches.
+    pub fn caches(&self) -> &[Arc<PrudenceCache>] {
+        &self.caches
+    }
+
+    /// Statistics for every size class.
+    pub fn stats(&self) -> Vec<CacheStatsSnapshot> {
+        self.caches.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Waits until every deferred object in every class is reclaimed.
+    pub fn quiesce(&self) {
+        for c in &self.caches {
+            c.quiesce();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_rcu::RcuConfig;
+
+    fn heap() -> PrudenceHeap {
+        PrudenceHeap::new(
+            PrudenceConfig::new(2),
+            Arc::new(PageAllocator::new()),
+            Arc::new(Rcu::with_config(RcuConfig::eager())),
+        )
+    }
+
+    #[test]
+    fn routes_to_correct_class() {
+        let h = heap();
+        let o = h.kmalloc(100).unwrap();
+        assert_eq!(h.cache_for(100).unwrap().object_size(), 128);
+        unsafe { h.kfree(o, 100) };
+        assert_eq!(h.cache_for(100).unwrap().stats().frees, 1);
+    }
+
+    #[test]
+    fn oversized_fails() {
+        let h = heap();
+        assert_eq!(h.kmalloc(1 << 20), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn deferred_free_roundtrip() {
+        let h = heap();
+        let o = h.kmalloc(512).unwrap();
+        unsafe { h.kfree_deferred(o, 512) };
+        h.quiesce();
+        let s = h.cache_for(512).unwrap().stats();
+        assert_eq!(s.deferred_frees, 1);
+        assert_eq!(s.live_objects, 0);
+    }
+
+    #[test]
+    fn covers_all_classes() {
+        let h = heap();
+        assert_eq!(h.stats().len(), SIZE_CLASSES.len());
+        assert_eq!(h.caches().len(), SIZE_CLASSES.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! # prudence — the Prudence dynamic memory allocator (ASPLOS '16)
+//!
+//! Prudence is a slab allocator **tightly integrated with
+//! procrastination-based synchronization** (RCU). Where the baseline
+//! allocator (`pbs-slub`) reclaims deferred objects through opaque RCU
+//! callbacks, Prudence makes deferred objects *visible to the allocator*:
+//!
+//! * [`free_deferred`](pbs_alloc_api::ObjectAllocator::free_deferred) is a
+//!   turnkey replacement for
+//!   `call_rcu(kfree)` (paper Listing 2). Deferred objects are stamped with
+//!   the current [`GpState`](pbs_rcu::GpState) and parked in a per-CPU
+//!   **latent cache** (bounded by the object-cache size) or, past that
+//!   bound, in the per-slab **latent slab**.
+//! * As soon as the grace period completes, latent objects are merged into
+//!   the object cache / slab free lists and are immediately reusable —
+//!   extended object lifetimes (paper §3.2) are eliminated.
+//! * Hints about the future drive the §4.2 optimizations: **partial
+//!   refill**, **proportional flush**, **idle-time pre-flush**, **slab
+//!   pre-movement**, **deferred-aware slab selection** (Figure 5), and
+//!   **OOM deferral**.
+//!
+//! Every optimization has an ablation switch in [`PrudenceConfig`] so its
+//! contribution can be measured independently.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pbs_alloc_api::ObjectAllocator;
+//! use pbs_mem::PageAllocator;
+//! use pbs_rcu::Rcu;
+//! use prudence::{PrudenceCache, PrudenceConfig};
+//!
+//! let pages = Arc::new(PageAllocator::new());
+//! let rcu = Arc::new(Rcu::new());
+//! let cache = PrudenceCache::new("example", 256, PrudenceConfig::new(4), pages, rcu);
+//!
+//! let obj = cache.allocate()?;
+//! unsafe { cache.free_deferred(obj) }; // visible to the allocator at once
+//! cache.quiesce();
+//! assert_eq!(cache.stats().deferred_frees, 1);
+//! # Ok::<(), pbs_alloc_api::AllocError>(())
+//! ```
+
+mod cache;
+mod config;
+mod factory;
+mod cpu_state;
+mod heap;
+mod node;
+mod preflush;
+
+pub use cache::PrudenceCache;
+pub use config::PrudenceConfig;
+pub use factory::PrudenceFactory;
+pub use heap::PrudenceHeap;

@@ -1,0 +1,273 @@
+//! Node-level state: slabs with latent-slab tracking.
+
+use std::collections::VecDeque;
+
+use pbs_alloc_api::{ListKind, ObjPtr, RawSlab, SlabLists};
+use pbs_rcu::GpState;
+
+/// A slab plus its latent slab: the deferred objects belonging to it
+/// (paper Figure 4, right side).
+///
+/// Deferred objects are counted as *allocated* by the underlying
+/// [`RawSlab`] until their grace period completes and
+/// [`reclaim_completed`](PrudentSlab::reclaim_completed) returns them to
+/// the free list.
+#[derive(Debug)]
+pub(crate) struct PrudentSlab {
+    pub(crate) raw: RawSlab,
+    /// Deferred objects (slab-local index, stamp), oldest first.
+    pub(crate) deferred: VecDeque<(u16, GpState)>,
+}
+
+impl PrudentSlab {
+    pub(crate) fn new(raw: RawSlab) -> Self {
+        Self {
+            raw,
+            deferred: VecDeque::new(),
+        }
+    }
+
+    /// Returns deferred objects whose grace period completed at `epoch` to
+    /// the slab free list. Returns how many were reclaimed.
+    pub(crate) fn reclaim_completed(&mut self, epoch: u64) -> usize {
+        let mut reclaimed = 0;
+        while let Some(&(idx, gp)) = self.deferred.front() {
+            if !gp.is_completed_at(epoch) {
+                break;
+            }
+            self.deferred.pop_front();
+            self.raw.give_back_index(idx);
+            reclaimed += 1;
+        }
+        reclaimed
+    }
+
+    /// Whether every allocated object in the slab is deferred — the slab
+    /// will be entirely free after the grace period (Algorithm line 56).
+    pub(crate) fn all_allocated_deferred(&self) -> bool {
+        self.raw.allocated_count() > 0 && self.raw.allocated_count() == self.deferred.len()
+    }
+
+    /// The list this slab should be on, *including* pre-movement driven by
+    /// deferred-object hints (Algorithm lines 54-57):
+    /// * a full slab with deferred objects is pre-moved to the partial
+    ///   list (objects are about to come back),
+    /// * a slab whose allocated objects are all deferred is pre-moved to
+    ///   the free list (the whole slab is about to be free).
+    pub(crate) fn classify(&self) -> ListKind {
+        if self.raw.is_free() || self.all_allocated_deferred() {
+            ListKind::Free
+        } else if self.raw.is_full() && self.deferred.is_empty() {
+            ListKind::Full
+        } else {
+            ListKind::Partial
+        }
+    }
+
+    /// Whether the slab's pages can be returned to the page allocator
+    /// right now.
+    pub(crate) fn releasable(&self) -> bool {
+        self.raw.is_free() && self.deferred.is_empty()
+    }
+}
+
+/// Per-node slab table and full/partial/free lists, guarded by one lock.
+#[derive(Debug, Default)]
+pub(crate) struct Node {
+    pub(crate) slabs: Vec<Option<PrudentSlab>>,
+    pub(crate) free_slots: Vec<usize>,
+    pub(crate) lists: SlabLists,
+    pub(crate) next_color: usize,
+    /// Slabs with pending latent-slab objects, in the order their oldest
+    /// stamp was queued. Lets reclamation merge completed objects back
+    /// ("objects in the latent slab are merged with the slab", §4.1)
+    /// without scanning every slab. May contain stale entries; consumers
+    /// re-validate.
+    pub(crate) pending: std::collections::VecDeque<usize>,
+}
+
+impl Node {
+    pub(crate) fn slab_mut(&mut self, index: usize) -> &mut PrudentSlab {
+        self.slabs[index].as_mut().expect("live slab index")
+    }
+
+    pub(crate) fn slab(&self, index: usize) -> &PrudentSlab {
+        self.slabs[index].as_ref().expect("live slab index")
+    }
+
+    /// Re-lists a slab according to [`PrudentSlab::classify`]; returns
+    /// `true` if it moved.
+    pub(crate) fn relist(&mut self, index: usize) -> bool {
+        let kind = self.slab(index).classify();
+        if self.lists.kind_of(index) == Some(kind) {
+            false
+        } else {
+            self.lists.move_to(index, kind);
+            true
+        }
+    }
+
+    /// Inserts a new slab and returns its index.
+    pub(crate) fn insert_slab(&mut self, slab: PrudentSlab) -> usize {
+        let index = self.free_slots.pop().unwrap_or(self.slabs.len());
+        if index == self.slabs.len() {
+            self.slabs.push(Some(slab));
+        } else {
+            debug_assert!(self.slabs[index].is_none());
+            self.slabs[index] = Some(slab);
+        }
+        self.lists.insert(index, self.slab(index).classify());
+        index
+    }
+
+    /// Removes a slab from the table and lists, returning it.
+    pub(crate) fn remove_slab(&mut self, index: usize) -> PrudentSlab {
+        self.lists.remove(index);
+        let slab = self.slabs[index].take().expect("live slab index");
+        self.free_slots.push(index);
+        slab
+    }
+
+    /// Merges grace-period-complete latent-slab objects back into their
+    /// slabs' free lists, draining the pending queue front while stamps
+    /// are complete. Returns the number of objects reclaimed and relists
+    /// every touched slab.
+    pub(crate) fn reclaim_pending(&mut self, epoch: u64) -> usize {
+        let mut reclaimed = 0;
+        while let Some(&index) = self.pending.front() {
+            let Some(slab) = self.slabs.get_mut(index).and_then(|s| s.as_mut()) else {
+                self.pending.pop_front();
+                continue;
+            };
+            match slab.deferred.front() {
+                None => {
+                    self.pending.pop_front();
+                }
+                Some(&(_, gp)) if gp.is_completed_at(epoch) => {
+                    reclaimed += slab.reclaim_completed(epoch);
+                    self.pending.pop_front();
+                    if !self.slab(index).deferred.is_empty() {
+                        // Newer stamps remain; queue again behind peers.
+                        self.pending.push_back(index);
+                        self.relist(index);
+                    } else {
+                        self.relist(index);
+                    }
+                }
+                Some(_) => break, // front stamp still inside its grace period
+            }
+        }
+        reclaimed
+    }
+
+    /// Index of an object's slab; see
+    /// [`resolve_slab_index`](pbs_alloc_api::slab_layout::resolve_slab_index).
+    ///
+    /// # Safety
+    ///
+    /// As `resolve_slab_index`; additionally the node lock must be held.
+    pub(crate) unsafe fn resolve(&self, obj: ObjPtr, slab_bytes: usize) -> usize {
+        pbs_alloc_api::slab_layout::resolve_slab_index(obj, slab_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_alloc_api::SizingPolicy;
+    use pbs_mem::PageAllocator;
+    use pbs_rcu::Rcu;
+
+    fn mk_slab(policy: &SizingPolicy, pages: &PageAllocator, index: usize) -> PrudentSlab {
+        let block = pages
+            .allocate_aligned(policy.slab_bytes, policy.slab_bytes)
+            .unwrap();
+        PrudentSlab::new(RawSlab::new(block, policy, index, 0))
+    }
+
+    #[test]
+    fn classify_transitions() {
+        let policy = SizingPolicy::for_object_size(512);
+        let pages = PageAllocator::new();
+        let rcu = Rcu::new();
+        let mut slab = mk_slab(&policy, &pages, 0);
+        assert_eq!(slab.classify(), ListKind::Free);
+
+        let mut objs = Vec::new();
+        slab.raw.take(policy.objects_per_slab, &mut objs);
+        assert_eq!(slab.classify(), ListKind::Full);
+
+        // Defer one object: the hint pre-moves the slab to Partial.
+        let idx = slab.raw.index_of(objs[0]);
+        slab.deferred.push_back((idx, rcu.gp_state()));
+        assert_eq!(slab.classify(), ListKind::Partial);
+
+        // Defer the rest: everything allocated is deferred → Free.
+        for &o in &objs[1..] {
+            slab.deferred.push_back((slab.raw.index_of(o), rcu.gp_state()));
+        }
+        assert_eq!(slab.classify(), ListKind::Free);
+        assert!(!slab.releasable(), "pages must wait for the grace period");
+
+        rcu.synchronize();
+        let n = slab.reclaim_completed(rcu.current_epoch());
+        assert_eq!(n, policy.objects_per_slab);
+        assert!(slab.releasable());
+        pages.free_pages(slab.raw.into_block());
+    }
+
+    #[test]
+    fn reclaim_stops_at_incomplete_stamp() {
+        let policy = SizingPolicy::for_object_size(512);
+        let pages = PageAllocator::new();
+        let rcu = Rcu::new();
+        let mut slab = mk_slab(&policy, &pages, 0);
+        let mut objs = Vec::new();
+        slab.raw.take(2, &mut objs);
+        let early = rcu.gp_state();
+        slab.deferred.push_back((slab.raw.index_of(objs[0]), early));
+        rcu.synchronize();
+        let late = rcu.gp_state();
+        slab.deferred.push_back((slab.raw.index_of(objs[1]), late));
+        // Only the first stamp is complete.
+        assert_eq!(slab.reclaim_completed(early.raw_epoch() + 2), 1);
+        assert_eq!(slab.deferred.len(), 1);
+        rcu.synchronize();
+        assert_eq!(slab.reclaim_completed(rcu.current_epoch()), 1);
+        pages.free_pages(slab.raw.into_block());
+    }
+
+    #[test]
+    fn node_insert_remove_reuses_slots() {
+        let policy = SizingPolicy::for_object_size(64);
+        let pages = PageAllocator::new();
+        let mut node = Node::default();
+        let a = node.insert_slab(mk_slab(&policy, &pages, 0));
+        let b = node.insert_slab(mk_slab(&policy, &pages, 1));
+        assert_eq!((a, b), (0, 1));
+        let slab = node.remove_slab(a);
+        pages.free_pages(slab.raw.into_block());
+        let c = node.insert_slab(mk_slab(&policy, &pages, 0));
+        assert_eq!(c, 0, "slot reused");
+        for idx in [b, c] {
+            let s = node.remove_slab(idx);
+            pages.free_pages(s.raw.into_block());
+        }
+    }
+
+    #[test]
+    fn relist_reports_movement() {
+        let policy = SizingPolicy::for_object_size(64);
+        let pages = PageAllocator::new();
+        let mut node = Node::default();
+        let i = node.insert_slab(mk_slab(&policy, &pages, 0));
+        assert!(!node.relist(i), "already on the right list");
+        let mut objs = Vec::new();
+        node.slab_mut(i).raw.take(1, &mut objs);
+        assert!(node.relist(i), "free → partial after take");
+        node.slab_mut(i).raw.give_back(objs[0]);
+        assert!(node.relist(i));
+        let s = node.remove_slab(i);
+        pages.free_pages(s.raw.into_block());
+    }
+}

@@ -1,0 +1,147 @@
+//! Global memory accounting shared by page allocators and experiments.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Thread-safe counters tracking memory handed out by a [`PageAllocator`].
+///
+/// The endurance experiment (paper Figure 3) samples [`used_bytes`] every
+/// 10 ms to plot the "total used memory in the system" curve.
+///
+/// [`PageAllocator`]: crate::PageAllocator
+/// [`used_bytes`]: MemoryAccounting::used_bytes
+///
+/// # Example
+///
+/// ```
+/// use pbs_mem::MemoryAccounting;
+///
+/// let acct = MemoryAccounting::new();
+/// acct.record_alloc(4096);
+/// acct.record_alloc(4096);
+/// acct.record_free(4096);
+/// assert_eq!(acct.used_bytes(), 4096);
+/// assert_eq!(acct.peak_bytes(), 8192);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryAccounting {
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl MemoryAccounting {
+    /// Creates zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`, updating the peak watermark.
+    pub fn record_alloc(&self, bytes: usize) {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        // Lock-free peak update; racing updates settle on the maximum.
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
+    }
+
+    /// Records a free of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more bytes are freed than were allocated.
+    pub fn record_free(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "freed more bytes than allocated");
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn used_bytes(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High watermark of [`used_bytes`](Self::used_bytes) over the lifetime
+    /// of this accounting object.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total number of allocation events recorded.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Total number of free events recorded.
+    pub fn free_count(&self) -> u64 {
+        self.frees.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let a = MemoryAccounting::new();
+        a.record_alloc(100);
+        a.record_alloc(50);
+        assert_eq!(a.used_bytes(), 150);
+        a.record_free(100);
+        assert_eq!(a.used_bytes(), 50);
+        assert_eq!(a.peak_bytes(), 150);
+        assert_eq!(a.alloc_count(), 2);
+        assert_eq!(a.free_count(), 1);
+    }
+
+    #[test]
+    fn peak_is_monotone() {
+        let a = MemoryAccounting::new();
+        a.record_alloc(10);
+        a.record_free(10);
+        a.record_alloc(5);
+        assert_eq!(a.peak_bytes(), 10);
+        assert_eq!(a.used_bytes(), 5);
+    }
+
+    #[test]
+    fn concurrent_accounting_balances() {
+        let a = Arc::new(MemoryAccounting::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.record_alloc(64);
+                        a.record_free(64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.used_bytes(), 0);
+        assert!(a.peak_bytes() >= 64);
+        assert_eq!(a.alloc_count(), 80_000);
+        assert_eq!(a.free_count(), 80_000);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let a = MemoryAccounting::default();
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.peak_bytes(), 0);
+        assert_eq!(a.alloc_count(), 0);
+    }
+}

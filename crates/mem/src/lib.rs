@@ -1,0 +1,48 @@
+//! # pbs-mem — page allocator and memory accounting substrate
+//!
+//! Userspace analog of the Linux page (buddy) allocator, scoped to what the
+//! Prudence reproduction needs:
+//!
+//! * page-granular allocation of real, aligned memory (slabs are carved out
+//!   of [`PageBlock`]s),
+//! * global used/peak accounting so experiments can sample "total used
+//!   memory" the way Figure 3 of the paper does,
+//! * a configurable hard limit that makes allocations fail with
+//!   [`OutOfMemory`], standing in for the kernel OOM condition.
+//!
+//! # Example
+//!
+//! ```
+//! use pbs_mem::{PageAllocator, PAGE_SIZE};
+//!
+//! let pages = PageAllocator::new();
+//! let block = pages.allocate_pages(4).unwrap();
+//! assert_eq!(block.len(), 4 * PAGE_SIZE);
+//! assert_eq!(pages.used_bytes(), 4 * PAGE_SIZE);
+//! pages.free_pages(block);
+//! assert_eq!(pages.used_bytes(), 0);
+//! ```
+
+mod accounting;
+mod page_alloc;
+mod watermark;
+
+pub use accounting::MemoryAccounting;
+pub use page_alloc::{OutOfMemory, PageAllocator, PageAllocatorBuilder, PageBlock};
+pub use watermark::{MemorySample, WatermarkSampler};
+
+/// Size of a simulated page in bytes (matches the common 4 KiB kernel page).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Round `bytes` up to a whole number of pages.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(pbs_mem::pages_for(1), 1);
+/// assert_eq!(pbs_mem::pages_for(pbs_mem::PAGE_SIZE + 1), 2);
+/// assert_eq!(pbs_mem::pages_for(0), 0);
+/// ```
+pub fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}

@@ -1,0 +1,130 @@
+//! Periodic used-memory sampling, used by the Figure 3 endurance experiment.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::PageAllocator;
+
+/// One observation of total used memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySample {
+    /// Time since the sampler started.
+    pub elapsed: Duration,
+    /// Bytes outstanding in the sampled [`PageAllocator`] at that instant.
+    pub used_bytes: usize,
+}
+
+/// Samples a [`PageAllocator`]'s used bytes on a fixed interval from a
+/// background thread.
+///
+/// The paper samples total used memory every 10 ms while stressing RCU
+/// (§3.5); this type reproduces that methodology.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use pbs_mem::{PageAllocator, WatermarkSampler};
+///
+/// let pages = Arc::new(PageAllocator::new());
+/// let sampler = WatermarkSampler::start(Arc::clone(&pages), Duration::from_millis(1));
+/// let block = pages.allocate_pages(8).unwrap();
+/// std::thread::sleep(Duration::from_millis(10));
+/// pages.free_pages(block);
+/// let samples = sampler.stop();
+/// assert!(samples.iter().any(|s| s.used_bytes > 0));
+/// ```
+#[derive(Debug)]
+pub struct WatermarkSampler {
+    stop: Arc<AtomicBool>,
+    samples: Arc<Mutex<Vec<MemorySample>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WatermarkSampler {
+    /// Starts sampling `pages` every `interval` until [`stop`](Self::stop)
+    /// is called.
+    pub fn start(pages: Arc<PageAllocator>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let samples = Arc::new(Mutex::new(Vec::new()));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let samples = Arc::clone(&samples);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    samples.lock().push(MemorySample {
+                        elapsed: start.elapsed(),
+                        used_bytes: pages.used_bytes(),
+                    });
+                    std::thread::sleep(interval);
+                }
+            })
+        };
+        Self {
+            stop,
+            samples,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and returns all collected samples in order.
+    pub fn stop(mut self) -> Vec<MemorySample> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut *self.samples.lock())
+    }
+}
+
+impl Drop for WatermarkSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_monotone_timestamps() {
+        let pages = Arc::new(PageAllocator::new());
+        let sampler = WatermarkSampler::start(Arc::clone(&pages), Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(15));
+        let samples = sampler.stop();
+        assert!(samples.len() >= 2, "expected several samples");
+        for pair in samples.windows(2) {
+            assert!(pair[0].elapsed <= pair[1].elapsed);
+        }
+    }
+
+    #[test]
+    fn observes_allocation_activity() {
+        let pages = Arc::new(PageAllocator::new());
+        let sampler = WatermarkSampler::start(Arc::clone(&pages), Duration::from_millis(1));
+        let b = pages.allocate_pages(16).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        pages.free_pages(b);
+        std::thread::sleep(Duration::from_millis(10));
+        let samples = sampler.stop();
+        assert!(samples.iter().any(|s| s.used_bytes == 16 * crate::PAGE_SIZE));
+        assert!(samples.iter().any(|s| s.used_bytes == 0));
+    }
+
+    #[test]
+    fn drop_without_stop_joins_thread() {
+        let pages = Arc::new(PageAllocator::new());
+        let sampler = WatermarkSampler::start(pages, Duration::from_millis(1));
+        drop(sampler); // must not hang or leak the thread
+    }
+}

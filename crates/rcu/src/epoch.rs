@@ -1,0 +1,166 @@
+//! Epoch algebra: global epoch, per-thread pin records, grace-period states.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Number of epoch advances that must elapse after a retire before the
+/// retired object is safe to reuse (the classic three-epoch rule of
+/// epoch-based reclamation).
+pub(crate) const GRACE_EPOCHS: u64 = 2;
+
+/// Opaque snapshot of the grace-period state at the moment an object was
+/// deferred for freeing.
+///
+/// This is the integration interface between the synchronization mechanism
+/// and the Prudence allocator (paper §4): the allocator stamps each deferred
+/// object with a `GpState` and later asks [`Rcu::poll`] whether the grace
+/// period for that state has completed.
+///
+/// `GpState` is ordered: a smaller state becomes safe no later than a larger
+/// one, so a container of deferred objects only needs to track its maximum.
+///
+/// [`Rcu::poll`]: crate::Rcu::poll
+///
+/// # Example
+///
+/// ```
+/// use pbs_rcu::Rcu;
+///
+/// let rcu = Rcu::new();
+/// let early = rcu.gp_state();
+/// rcu.synchronize();
+/// let late = rcu.gp_state();
+/// assert!(early <= late);
+/// assert!(rcu.poll(early));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpState(pub(crate) u64);
+
+impl GpState {
+    /// The raw epoch the state was captured at. Exposed for diagnostics and
+    /// tests; treat as opaque otherwise.
+    pub fn raw_epoch(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether this state's grace period has completed given a global epoch
+    /// obtained from [`Rcu::current_epoch`].
+    ///
+    /// This is the batch-friendly form of [`Rcu::poll`]: the Prudence
+    /// allocator reads the epoch once and checks many stamped objects
+    /// against it (merging a latent cache touches hundreds of stamps).
+    ///
+    /// [`Rcu::current_epoch`]: crate::Rcu::current_epoch
+    /// [`Rcu::poll`]: crate::Rcu::poll
+    pub fn is_completed_at(&self, global_epoch: u64) -> bool {
+        global_epoch >= self.0 + GRACE_EPOCHS
+    }
+
+    /// Whether this state's grace period has completed given the current
+    /// global epoch.
+    pub(crate) fn completed_at(&self, global: u64) -> bool {
+        self.is_completed_at(global)
+    }
+}
+
+const PINNED: u64 = 1 << 63;
+const EPOCH_MASK: u64 = PINNED - 1;
+
+/// Per-thread epoch record shared between the owning reader thread and the
+/// grace-period machinery.
+///
+/// A single atomic word packs a "pinned" flag (thread is inside a read-side
+/// critical section) with the epoch the thread observed when it pinned.
+#[derive(Debug)]
+pub(crate) struct ThreadRecord {
+    state: AtomicU64,
+    active: AtomicBool,
+}
+
+impl ThreadRecord {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+        }
+    }
+
+    /// Marks the thread as inside a critical section at `epoch`.
+    pub(crate) fn pin(&self, epoch: u64) {
+        debug_assert_eq!(epoch & PINNED, 0, "epoch overflow");
+        self.state.store(PINNED | epoch, Ordering::SeqCst);
+    }
+
+    /// Marks the thread as outside any critical section.
+    pub(crate) fn unpin(&self) {
+        self.state.store(0, Ordering::SeqCst);
+    }
+
+    /// Returns `Some(epoch)` if the thread is pinned, `None` otherwise.
+    pub(crate) fn pinned_epoch(&self) -> Option<u64> {
+        let s = self.state.load(Ordering::SeqCst);
+        if s & PINNED != 0 {
+            Some(s & EPOCH_MASK)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the record still belongs to a live [`RcuThread`].
+    ///
+    /// [`RcuThread`]: crate::RcuThread
+    pub(crate) fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Detaches the record from its thread (called on `RcuThread` drop).
+    pub(crate) fn deactivate(&self) {
+        self.active.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_state_completion_rule() {
+        let s = GpState(5);
+        assert!(!s.completed_at(5));
+        assert!(!s.completed_at(6));
+        assert!(s.completed_at(7));
+        assert!(s.completed_at(100));
+    }
+
+    #[test]
+    fn gp_state_ordering() {
+        assert!(GpState(1) < GpState(2));
+        assert_eq!(GpState(3), GpState(3));
+        assert_eq!(GpState(9).raw_epoch(), 9);
+    }
+
+    #[test]
+    fn record_pin_unpin() {
+        let r = ThreadRecord::new();
+        assert_eq!(r.pinned_epoch(), None);
+        r.pin(7);
+        assert_eq!(r.pinned_epoch(), Some(7));
+        r.unpin();
+        assert_eq!(r.pinned_epoch(), None);
+    }
+
+    #[test]
+    fn record_activity() {
+        let r = ThreadRecord::new();
+        assert!(r.is_active());
+        r.deactivate();
+        assert!(!r.is_active());
+    }
+
+    #[test]
+    fn large_epochs_roundtrip() {
+        let r = ThreadRecord::new();
+        let e = EPOCH_MASK - 1;
+        r.pin(e);
+        assert_eq!(r.pinned_epoch(), Some(e));
+    }
+}

@@ -1,0 +1,59 @@
+//! # pbs-rcu — procrastination-based synchronization (userspace RCU)
+//!
+//! An epoch-based Read-Copy-Update implementation, the userspace analog of
+//! the Linux-kernel RCU the Prudence paper (ASPLOS '16) integrates with.
+//!
+//! ## Model
+//!
+//! * Threads [`register`](Rcu::register) with a domain and enter read-side
+//!   critical sections with [`RcuThread::read_lock`]. Readers are wait-free:
+//!   they never take locks or write shared cachelines other than their own
+//!   epoch record.
+//! * A global epoch advances only when every reader currently inside a
+//!   critical section has observed the current epoch. Two advances after an
+//!   object is retired constitute a **grace period**: no reader can still
+//!   hold a reference obtained before the retire.
+//! * Writers defer frees either through classic callbacks
+//!   ([`Rcu::call_rcu`], processed by background reclaimer threads with
+//!   Linux-style batch throttling — this is the *baseline* behaviour the
+//!   paper criticizes), or by stamping a [`GpState`] and polling
+//!   [`Rcu::poll`] — the **allocator integration interface** Prudence uses
+//!   (paper §4, requirement ii).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//! use pbs_rcu::Rcu;
+//!
+//! let rcu = Arc::new(Rcu::new());
+//! let reader = rcu.register();
+//!
+//! let shared = AtomicPtr::new(Box::into_raw(Box::new(1u32)));
+//!
+//! // Read side: wait-free traversal under a guard.
+//! {
+//!     let _guard = reader.read_lock();
+//!     let value = unsafe { *shared.load(Ordering::Acquire) };
+//!     assert_eq!(value, 1);
+//! }
+//!
+//! // Write side: publish a new version, defer freeing the old one.
+//! let old = shared.swap(Box::into_raw(Box::new(2u32)), Ordering::AcqRel);
+//! let state = rcu.gp_state();
+//! rcu.synchronize();
+//! assert!(rcu.poll(state));
+//! unsafe { drop(Box::from_raw(old)) }; // no readers can reference it now
+//! # unsafe { drop(Box::from_raw(shared.load(Ordering::Acquire))) };
+//! ```
+
+mod callback;
+mod domain;
+mod epoch;
+mod stats;
+
+pub use callback::RcuConfig;
+pub use domain::{ReadGuard, Rcu, RcuThread};
+pub use epoch::GpState;
+pub use stats::RcuStats;

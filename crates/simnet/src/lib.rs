@@ -1,0 +1,47 @@
+//! # pbs-simnet — connection/socket substrate
+//!
+//! A transport-stack stand-in whose allocator traffic matches what the
+//! paper's Netperf TCP_CRR and ApacheBench workloads induce on the kernel
+//! (§5.3):
+//!
+//! | operation | slab traffic |
+//! |---|---|
+//! | `connect` | `sock` + `filp` + `selinux` allocations, connection entry published for RCU lookup |
+//! | `request_response` | transient `skbuff` allocations + immediate frees |
+//! | `close` | **deferred** frees of the connection entry, `filp` and `selinux` blob (connection teardown is RCU-deferred in Linux) |
+//! | `Epoll::add` / `Epoll::del` | `eventpoll_epi` allocation / **deferred** free (paper: "objects are deferred for freeing during the removal of the target file descriptor from epoll") |
+//!
+//! Like [`pbs-simfs`](../pbs_simfs/index.html), everything is parameterized
+//! by a [`CacheFactory`] so the identical workload runs over SLUB or
+//! Prudence.
+//!
+//! [`CacheFactory`]: pbs_alloc_api::CacheFactory
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pbs_mem::PageAllocator;
+//! use pbs_rcu::Rcu;
+//! use pbs_simnet::SimNet;
+//! use prudence::{PrudenceConfig, PrudenceFactory};
+//!
+//! let rcu = Arc::new(Rcu::new());
+//! let factory = PrudenceFactory::new(
+//!     PrudenceConfig::new(2),
+//!     Arc::new(PageAllocator::new()),
+//!     Arc::clone(&rcu),
+//! );
+//! let net = SimNet::new(&factory);
+//! let conn = net.connect()?;
+//! net.request_response(conn, 1024)?;
+//! net.close(conn)?;
+//! net.quiesce();
+//! # Ok::<(), pbs_simnet::NetError>(())
+//! ```
+
+mod epoll;
+mod net;
+
+pub use epoll::Epoll;
+pub use net::{ConnId, NetError, SimNet};

@@ -1,0 +1,65 @@
+//! Factory producing baseline caches.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::{CacheFactory, ObjectAllocator};
+use pbs_mem::PageAllocator;
+use pbs_rcu::Rcu;
+
+use crate::SlubCache;
+
+/// Creates [`SlubCache`]s sharing one page allocator and RCU domain.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pbs_alloc_api::CacheFactory;
+/// use pbs_mem::PageAllocator;
+/// use pbs_rcu::Rcu;
+/// use pbs_slub::SlubFactory;
+///
+/// let f = SlubFactory::new(4, Arc::new(PageAllocator::new()), Arc::new(Rcu::new()));
+/// let cache = f.create_cache("dentry", 192);
+/// assert_eq!(cache.object_size(), 192);
+/// assert_eq!(f.label(), "slub");
+/// ```
+#[derive(Debug)]
+pub struct SlubFactory {
+    ncpus: usize,
+    pages: Arc<PageAllocator>,
+    rcu: Arc<Rcu>,
+}
+
+impl SlubFactory {
+    /// Creates a factory; every cache it mints shares `pages` and `rcu`.
+    pub fn new(ncpus: usize, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
+        Self { ncpus, pages, rcu }
+    }
+
+    /// The shared page allocator.
+    pub fn pages(&self) -> &Arc<PageAllocator> {
+        &self.pages
+    }
+
+    /// The shared RCU domain.
+    pub fn rcu(&self) -> &Arc<Rcu> {
+        &self.rcu
+    }
+}
+
+impl CacheFactory for SlubFactory {
+    fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
+        SlubCache::new(
+            name,
+            object_size,
+            self.ncpus,
+            Arc::clone(&self.pages),
+            Arc::clone(&self.rcu),
+        )
+    }
+
+    fn label(&self) -> &str {
+        "slub"
+    }
+}

@@ -1,0 +1,159 @@
+//! kmalloc-style front end over size-class caches.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::{
+    class_index_for, AllocError, CacheStatsSnapshot, ObjPtr, ObjectAllocator, SIZE_CLASSES,
+};
+use pbs_mem::PageAllocator;
+use pbs_rcu::Rcu;
+
+use crate::SlubCache;
+
+/// A general-purpose allocator front end: one [`SlubCache`] per kmalloc
+/// size class (`kmalloc-8` … `kmalloc-4096`), as in the Linux kernel.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pbs_mem::PageAllocator;
+/// use pbs_rcu::Rcu;
+/// use pbs_slub::SlubHeap;
+///
+/// let heap = SlubHeap::new(4, Arc::new(PageAllocator::new()), Arc::new(Rcu::new()));
+/// let obj = heap.kmalloc(100)?; // served by kmalloc-128
+/// unsafe { heap.kfree(obj, 100) };
+/// # Ok::<(), pbs_alloc_api::AllocError>(())
+/// ```
+#[derive(Debug)]
+pub struct SlubHeap {
+    caches: Vec<Arc<SlubCache>>,
+}
+
+impl SlubHeap {
+    /// Creates the full set of size-class caches.
+    pub fn new(ncpus: usize, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
+        let caches = SIZE_CLASSES
+            .iter()
+            .map(|&size| {
+                SlubCache::new(
+                    &format!("kmalloc-{size}"),
+                    size,
+                    ncpus,
+                    Arc::clone(&pages),
+                    Arc::clone(&rcu),
+                )
+            })
+            .collect();
+        Self { caches }
+    }
+
+    fn class_for(&self, size: usize) -> Result<&Arc<SlubCache>, AllocError> {
+        class_index_for(size)
+            .map(|i| &self.caches[i])
+            .ok_or(AllocError::OutOfMemory)
+    }
+
+    /// Allocates `size` bytes from the smallest fitting size class.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `size` exceeds the largest class or the page allocator is
+    /// exhausted.
+    pub fn kmalloc(&self, size: usize) -> Result<ObjPtr, AllocError> {
+        self.class_for(size)?.allocate()
+    }
+
+    /// Frees an object previously allocated with `kmalloc(size)`.
+    ///
+    /// # Safety
+    ///
+    /// `obj` must come from [`kmalloc`](Self::kmalloc) on this heap with a
+    /// size mapping to the same class, freed exactly once, not used after.
+    pub unsafe fn kfree(&self, obj: ObjPtr, size: usize) {
+        self.class_for(size)
+            .expect("size was allocatable")
+            .free(obj);
+    }
+
+    /// Defers freeing of an object until after an RCU grace period — the
+    /// paper's `kfree_deferred()` API (§5).
+    ///
+    /// # Safety
+    ///
+    /// As [`kfree`](Self::kfree); additionally the object must already be
+    /// unreachable for new readers.
+    pub unsafe fn kfree_deferred(&self, obj: ObjPtr, size: usize) {
+        self.class_for(size)
+            .expect("size was allocatable")
+            .free_deferred(obj);
+    }
+
+    /// The cache serving a given size.
+    pub fn cache_for(&self, size: usize) -> Option<&Arc<SlubCache>> {
+        class_index_for(size).map(|i| &self.caches[i])
+    }
+
+    /// All size-class caches.
+    pub fn caches(&self) -> &[Arc<SlubCache>] {
+        &self.caches
+    }
+
+    /// Statistics for every size class.
+    pub fn stats(&self) -> Vec<CacheStatsSnapshot> {
+        self.caches.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Waits for all deferred frees to be reclaimed.
+    pub fn quiesce(&self) {
+        if let Some(c) = self.caches.first() {
+            c.quiesce(); // one barrier covers the shared RCU domain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> SlubHeap {
+        SlubHeap::new(
+            2,
+            Arc::new(PageAllocator::new()),
+            Arc::new(Rcu::with_config(pbs_rcu::RcuConfig::eager())),
+        )
+    }
+
+    #[test]
+    fn routes_to_correct_class() {
+        let h = heap();
+        let o = h.kmalloc(100).unwrap();
+        assert_eq!(h.cache_for(100).unwrap().object_size(), 128);
+        assert_eq!(h.cache_for(100).unwrap().stats().alloc_requests, 1);
+        unsafe { h.kfree(o, 100) };
+    }
+
+    #[test]
+    fn oversized_fails() {
+        let h = heap();
+        assert_eq!(h.kmalloc(1 << 20), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn deferred_free_via_heap() {
+        let h = heap();
+        let o = h.kmalloc(512).unwrap();
+        unsafe { h.kfree_deferred(o, 512) };
+        h.quiesce();
+        let s = h.cache_for(512).unwrap().stats();
+        assert_eq!(s.deferred_frees, 1);
+        assert_eq!(s.live_objects, 0);
+    }
+
+    #[test]
+    fn stats_cover_all_classes() {
+        let h = heap();
+        assert_eq!(h.stats().len(), SIZE_CLASSES.len());
+    }
+}

@@ -1,0 +1,437 @@
+//! RCU-protected fixed-bucket hash map with per-bucket chains.
+
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pbs_alloc_api::{AllocError, ObjPtr, ObjectAllocator};
+use pbs_rcu::ReadGuard;
+
+#[repr(C)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    next: AtomicPtr<Node<K, V>>,
+}
+
+/// An RCU hash table shaped like the kernel's dentry cache / connection
+/// tables: a fixed power-of-two bucket array whose chains are traversed by
+/// wait-free RCU readers, with per-bucket writer locks. Node memory comes
+/// from the [`ObjectAllocator`] supplied at construction and old versions
+/// are deferred-freed on update/remove.
+///
+/// Keys and values must be `Copy` (reclamation frees memory without
+/// running destructors) and keys must be `Hash + Eq`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pbs_mem::PageAllocator;
+/// use pbs_rcu::Rcu;
+/// use pbs_structs::RcuHashMap;
+/// use prudence::{PrudenceCache, PrudenceConfig};
+///
+/// let pages = Arc::new(PageAllocator::new());
+/// let rcu = Arc::new(Rcu::new());
+/// let cache = Arc::new(PrudenceCache::new("map-nodes", 64, PrudenceConfig::new(2), pages, Arc::clone(&rcu)));
+///
+/// let map: RcuHashMap<u64, u64> = RcuHashMap::new(cache, 64);
+/// let reader = rcu.register();
+/// map.insert(3, 30)?;
+/// let guard = reader.read_lock();
+/// assert_eq!(map.get(&guard, &3), Some(30));
+/// # drop(guard);
+/// # Ok::<(), pbs_alloc_api::AllocError>(())
+/// ```
+pub struct RcuHashMap<K, V> {
+    buckets: Vec<AtomicPtr<Node<K, V>>>,
+    locks: Vec<Mutex<()>>,
+    mask: usize,
+    alloc: Arc<dyn ObjectAllocator>,
+    len: AtomicUsize,
+    domain_id: u64,
+    _marker: PhantomData<(K, V)>,
+}
+
+// SAFETY: nodes are plain data behind atomics; per-bucket mutation is
+// serialized by `locks` and reclamation by RCU.
+unsafe impl<K: Copy + Send + Sync, V: Copy + Send + Sync> Send for RcuHashMap<K, V> {}
+unsafe impl<K: Copy + Send + Sync, V: Copy + Send + Sync> Sync for RcuHashMap<K, V> {}
+
+impl<K, V> std::fmt::Debug for RcuHashMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuHashMap")
+            .field("buckets", &self.buckets.len())
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K, V> RcuHashMap<K, V>
+where
+    K: Copy + Send + Sync + Hash + Eq,
+    V: Copy + Send + Sync,
+{
+    /// Creates a map with `buckets` chains (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator's objects cannot hold a node, or `buckets`
+    /// is zero.
+    pub fn new(alloc: Arc<dyn ObjectAllocator>, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(
+            std::mem::size_of::<Node<K, V>>() <= alloc.object_size(),
+            "allocator objects too small: need {} bytes, cache serves {}",
+            std::mem::size_of::<Node<K, V>>(),
+            alloc.object_size()
+        );
+        assert!(
+            std::mem::align_of::<Node<K, V>>() <= 8,
+            "allocator objects are 8-byte aligned; node needs more"
+        );
+        let n = buckets.next_power_of_two();
+        let domain_id = alloc.rcu().id();
+        Self {
+            buckets: (0..n).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            locks: (0..n).map(|_| Mutex::new(())).collect(),
+            mask: n - 1,
+            alloc,
+            len: AtomicUsize::new(0),
+            domain_id,
+            _marker: PhantomData,
+        }
+    }
+
+    fn bucket_of(&self, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    fn check_guard(&self, guard: &ReadGuard<'_>) {
+        assert_eq!(
+            guard.domain_id(),
+            self.domain_id,
+            "read guard belongs to a different RCU domain than this map's allocator"
+        );
+    }
+
+    fn alloc_node(&self, key: K, value: V, next: *mut Node<K, V>) -> Result<*mut Node<K, V>, AllocError> {
+        let obj = self.alloc.allocate()?;
+        let node = obj.as_ptr().cast::<Node<K, V>>();
+        // SAFETY: exclusive, large and aligned enough (checked in `new`).
+        unsafe {
+            node.write(Node {
+                key,
+                value,
+                next: AtomicPtr::new(next),
+            });
+        }
+        Ok(node)
+    }
+
+    fn obj_of(node: *mut Node<K, V>) -> ObjPtr {
+        // SAFETY: never called with null.
+        ObjPtr::new(unsafe { ptr::NonNull::new_unchecked(node.cast()) })
+    }
+
+    /// Number of entries (approximate under concurrent writers).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `key → value`, replacing (copy-on-update + deferred free)
+    /// any existing entry. Returns `true` if an entry was replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if node allocation fails; the map is
+    /// unchanged.
+    pub fn insert(&self, key: K, value: V) -> Result<bool, AllocError> {
+        let b = self.bucket_of(&key);
+        let _w = self.locks[b].lock();
+        // SAFETY: bucket lock held; chain stable under us; reclamation is
+        // grace-period-deferred.
+        unsafe {
+            let mut prev: *const AtomicPtr<Node<K, V>> = &self.buckets[b];
+            let mut cur = (*prev).load(Ordering::Acquire);
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    let next = (*cur).next.load(Ordering::Acquire);
+                    let new = self.alloc_node(key, value, next)?;
+                    (*prev).store(new, Ordering::Release);
+                    self.alloc.free_deferred(Self::obj_of(cur));
+                    return Ok(true);
+                }
+                prev = &(*cur).next;
+                cur = (*prev).load(Ordering::Acquire);
+            }
+            let head = self.buckets[b].load(Ordering::Acquire);
+            let node = self.alloc_node(key, value, head)?;
+            self.buckets[b].store(node, Ordering::Release);
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        Ok(false)
+    }
+
+    /// Looks up `key` under a read guard, returning a copy of the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard` belongs to a different RCU domain.
+    pub fn get(&self, guard: &ReadGuard<'_>, key: &K) -> Option<V> {
+        self.check_guard(guard);
+        let b = self.bucket_of(key);
+        let mut cur = self.buckets[b].load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: protected by the (domain-checked) read guard.
+            let node = unsafe { &*cur };
+            if node.key == *key {
+                return Some(node.value);
+            }
+            cur = node.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Removes `key`, deferring the free of its node. Returns the removed
+    /// value, if any.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let b = self.bucket_of(key);
+        let _w = self.locks[b].lock();
+        // SAFETY: as in `insert`.
+        unsafe {
+            let mut prev: *const AtomicPtr<Node<K, V>> = &self.buckets[b];
+            let mut cur = (*prev).load(Ordering::Acquire);
+            while !cur.is_null() {
+                if (*cur).key == *key {
+                    let next = (*cur).next.load(Ordering::Acquire);
+                    let value = (*cur).value;
+                    (*prev).store(next, Ordering::Release);
+                    self.alloc.free_deferred(Self::obj_of(cur));
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(value);
+                }
+                prev = &(*cur).next;
+                cur = (*prev).load(Ordering::Acquire);
+            }
+        }
+        None
+    }
+
+    /// Inserts `key → value` only if `key` is absent. Returns `true` if it
+    /// inserted, `false` if the key already existed (map unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if node allocation fails.
+    pub fn insert_if_absent(&self, key: K, value: V) -> Result<bool, AllocError> {
+        let b = self.bucket_of(&key);
+        let _w = self.locks[b].lock();
+        // SAFETY: bucket lock held; chain stable; RCU-deferred reclamation.
+        unsafe {
+            let mut cur = self.buckets[b].load(Ordering::Acquire);
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    return Ok(false);
+                }
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            let head = self.buckets[b].load(Ordering::Acquire);
+            let node = self.alloc_node(key, value, head)?;
+            self.buckets[b].store(node, Ordering::Release);
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Visits every entry under a read guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cross-domain guard.
+    pub fn for_each(&self, guard: &ReadGuard<'_>, mut f: impl FnMut(&K, &V)) {
+        self.check_guard(guard);
+        for bucket in &self.buckets {
+            let mut cur = bucket.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: protected by the read guard.
+                let node = unsafe { &*cur };
+                f(&node.key, &node.value);
+                cur = node.next.load(Ordering::Acquire);
+            }
+        }
+    }
+}
+
+impl<K, V> Drop for RcuHashMap<K, V> {
+    fn drop(&mut self) {
+        for bucket in &self.buckets {
+            let mut cur = bucket.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: exclusive access during drop.
+                unsafe {
+                    let next = (*cur).next.load(Ordering::Acquire);
+                    self.alloc
+                        .free(ObjPtr::new(ptr::NonNull::new_unchecked(cur.cast())));
+                    cur = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_mem::PageAllocator;
+    use pbs_rcu::{Rcu, RcuConfig};
+    use pbs_slub::SlubCache;
+    use prudence::{PrudenceCache, PrudenceConfig};
+
+    fn setup_prudence() -> (Arc<Rcu>, Arc<dyn ObjectAllocator>) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::new(
+            "map-nodes",
+            64,
+            PrudenceConfig::new(2),
+            pages,
+            Arc::clone(&rcu),
+        ));
+        (rcu, cache)
+    }
+
+    fn setup_slub() -> (Arc<Rcu>, Arc<dyn ObjectAllocator>) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> =
+            SlubCache::new("map-nodes", 64, 2, pages, Arc::clone(&rcu));
+        (rcu, cache)
+    }
+
+    fn smoke(rcu: Arc<Rcu>, cache: Arc<dyn ObjectAllocator>) {
+        let map: RcuHashMap<u64, u64> = RcuHashMap::new(Arc::clone(&cache), 16);
+        let t = rcu.register();
+        for i in 0..200 {
+            assert!(!map.insert(i, i * 2).unwrap());
+        }
+        assert_eq!(map.len(), 200);
+        let g = t.read_lock();
+        for i in 0..200 {
+            assert_eq!(map.get(&g, &i), Some(i * 2));
+        }
+        assert_eq!(map.get(&g, &999), None);
+        drop(g);
+        assert!(map.insert(7, 700).unwrap(), "replacement reported");
+        let g = t.read_lock();
+        assert_eq!(map.get(&g, &7), Some(700));
+        drop(g);
+        for i in 0..100 {
+            assert_eq!(map.remove(&i), Some(if i == 7 { 700 } else { i * 2 }));
+        }
+        assert_eq!(map.remove(&1000), None);
+        assert!(map.insert_if_absent(100, 1).is_ok_and(|inserted| !inserted));
+        assert!(map.insert_if_absent(5000, 1).is_ok_and(|inserted| inserted));
+        assert!(map.remove(&5000).is_some());
+        assert_eq!(map.len(), 100);
+        drop(map);
+        cache.quiesce();
+        assert_eq!(cache.stats().live_objects, 0);
+    }
+
+    #[test]
+    fn smoke_on_prudence() {
+        let (rcu, cache) = setup_prudence();
+        smoke(rcu, cache);
+    }
+
+    #[test]
+    fn smoke_on_slub() {
+        let (rcu, cache) = setup_slub();
+        smoke(rcu, cache);
+    }
+
+    #[test]
+    fn concurrent_readers_and_updaters() {
+        let (rcu, cache) = setup_prudence();
+        let map: Arc<RcuHashMap<u64, [u64; 2]>> = Arc::new(RcuHashMap::new(cache, 64));
+        for i in 0..64 {
+            map.insert(i, [0, 0]).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                let rcu = Arc::clone(&rcu);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let t = rcu.register();
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = t.read_lock();
+                        if let Some([a, b]) = map.get(&g, &(i % 64)) {
+                            assert_eq!(a, b);
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let k = w * 32 + i % 32;
+                        map.insert(k, [i, i]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(map.len(), 64);
+    }
+
+    #[test]
+    fn for_each_counts_entries() {
+        let (rcu, cache) = setup_prudence();
+        let map: RcuHashMap<u64, u64> = RcuHashMap::new(cache, 8);
+        let t = rcu.register();
+        for i in 0..30 {
+            map.insert(i, 1).unwrap();
+        }
+        let g = t.read_lock();
+        let mut count = 0;
+        map.for_each(&g, |_, _| count += 1);
+        assert_eq!(count, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "different RCU domain")]
+    fn cross_domain_guard_panics() {
+        let (_rcu, cache) = setup_prudence();
+        let map: RcuHashMap<u64, u64> = RcuHashMap::new(cache, 8);
+        let other = Rcu::new();
+        let t = other.register();
+        let g = t.read_lock();
+        let _ = map.get(&g, &1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pbs-structs — RCU-protected data structures over pluggable allocators
+//!
+//! The kernel subsystems the paper benchmarks (VFS dentry hash, inode
+//! tables, socket tables, epoll) are all RCU-protected linked structures
+//! whose nodes live in slab caches. This crate provides the userspace
+//! equivalents, parameterized over any [`ObjectAllocator`] so the same
+//! workload can run on the SLUB baseline or on Prudence:
+//!
+//! * [`RcuList`] — the paper's Figure 1 example: a keyed singly-linked
+//!   list with wait-free readers and copy-on-update writers that defer
+//!   freeing of old node versions.
+//! * [`RcuHashMap`] — a fixed-bucket hash table with per-bucket RCU
+//!   chains (the shape of the dentry cache and TCP established-connection
+//!   tables).
+//! * [`RcuBst`] — a binary search tree whose restructuring removals defer
+//!   *multiple* old node versions per operation (paper §3.1: "tree
+//!   re-balancing results in multiple deferred objects").
+//!
+//! Values must be `Copy`: deferred reclamation frees node *memory* after
+//! the grace period without running destructors, exactly like `kfree`-ing
+//! a kernel struct.
+//!
+//! [`ObjectAllocator`]: pbs_alloc_api::ObjectAllocator
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pbs_mem::PageAllocator;
+//! use pbs_rcu::Rcu;
+//! use pbs_structs::RcuList;
+//! use prudence::{PrudenceCache, PrudenceConfig};
+//!
+//! let pages = Arc::new(PageAllocator::new());
+//! let rcu = Arc::new(Rcu::new());
+//! let cache = Arc::new(PrudenceCache::new("nodes", 64, PrudenceConfig::new(2), pages, Arc::clone(&rcu)));
+//!
+//! let list: RcuList<u64> = RcuList::new(cache);
+//! let reader = rcu.register();
+//!
+//! list.insert(1, 100)?;
+//! list.update(1, 200)?; // copy-update; old version deferred-freed
+//! let guard = reader.read_lock();
+//! assert_eq!(list.lookup(&guard, 1), Some(200));
+//! # drop(guard);
+//! # Ok::<(), pbs_alloc_api::AllocError>(())
+//! ```
+
+mod bst;
+mod hashmap;
+mod list;
+
+pub use bst::RcuBst;
+pub use hashmap::RcuHashMap;
+pub use list::RcuList;

@@ -1,0 +1,60 @@
+//! Full-length Figure 3 endurance run with a CSV memory trace.
+//!
+//! ```text
+//! cargo run --release -p pbs-workloads --bin endurance [seconds] [--csv PATH]
+//! ```
+//!
+//! Prints the per-allocator summary and optionally writes
+//! `ms,slub_bytes,prudence_bytes` rows suitable for plotting Figure 3.
+
+use std::time::Duration;
+
+use pbs_workloads::endurance::{run_endurance, EnduranceParams};
+use pbs_workloads::AllocatorKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seconds: u64 = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let params = EnduranceParams {
+        duration: Duration::from_secs(seconds),
+        memory_limit: 96 << 20,
+        ..EnduranceParams::default()
+    };
+    println!(
+        "Endurance (Figure 3): {} threads, 512 B objects, {} MiB limit, {} s",
+        params.threads,
+        params.memory_limit >> 20,
+        seconds
+    );
+    let slub = run_endurance(AllocatorKind::Slub, &params);
+    println!("{}", slub.render());
+    let prudence = run_endurance(AllocatorKind::Prudence, &params);
+    println!("{}", prudence.render());
+
+    if let Some(path) = csv_path {
+        let mut csv = String::from("ms,slub_bytes,prudence_bytes\n");
+        let n = slub.samples.len().max(prudence.samples.len());
+        for i in 0..n {
+            let s = slub.samples.get(i);
+            let p = prudence.samples.get(i);
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                s.or(p).map(|x| x.ms).unwrap_or(0),
+                s.map(|x| x.used_bytes.to_string()).unwrap_or_default(),
+                p.map(|x| x.used_bytes.to_string()).unwrap_or_default(),
+            ));
+        }
+        std::fs::write(&path, csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! prints them in paper-like form (plus machine-readable JSON).
+//!
+//! ```text
+//! cargo run --release -p pbs-workloads --bin figures [--quick] [--json PATH]
+//! ```
+//!
+//! `--quick` shrinks workload sizes for a fast smoke pass; the default
+//! parameters take a few minutes on a laptop.
+
+use std::time::Duration;
+
+use pbs_workloads::apps::AppParams;
+use pbs_workloads::endurance::EnduranceParams;
+use pbs_workloads::figures::{
+    figure3, figure6, figures7_to_13, render_figure3, render_figure6, render_figures7_to_13,
+    section33_cost_table, FIG6_SIZES,
+};
+use pbs_workloads::microbench::MicrobenchParams;
+use pbs_workloads::tree_churn::{run_tree_churn, TreeChurnParams};
+use pbs_workloads::AllocatorKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let scale: u64 = if quick { 1 } else { 10 };
+
+    println!("== Prudence reproduction: paper evaluation ==\n");
+
+    // §3.3 cost table.
+    let cost = section33_cost_table(512, 100_000 * scale);
+    println!("{}\n", cost.render());
+
+    // Figure 6.
+    let micro_params = MicrobenchParams {
+        pairs_per_thread: 20_000 * scale,
+        ..MicrobenchParams::default()
+    };
+    let fig6 = figure6(&FIG6_SIZES, &micro_params);
+    println!("{}", render_figure6(&fig6));
+
+    // Figure 3.
+    let endurance_params = EnduranceParams {
+        duration: Duration::from_millis(if quick { 1_500 } else { 10_000 }),
+        memory_limit: if quick { 24 << 20 } else { 96 << 20 },
+        ..EnduranceParams::default()
+    };
+    let (slub3, prudence3) = figure3(&endurance_params);
+    println!("{}", render_figure3(&slub3, &prudence3));
+
+    // Figures 7-13.
+    let app_params = AppParams {
+        transactions_per_thread: 2_000 * scale,
+        ..AppParams::default()
+    };
+    let comparisons = figures7_to_13(&app_params);
+    println!("{}", render_figures7_to_13(&comparisons));
+
+    // Extension: §3.1 tree-update deferral amplification.
+    let tree_params = TreeChurnParams {
+        ops_per_thread: 5_000 * scale,
+        ..TreeChurnParams::default()
+    };
+    println!("\nExtension — RCU tree churn (\u{00a7}3.1 multi-deferral amplification)");
+    let mut tree_reports = Vec::new();
+    for kind in AllocatorKind::BOTH {
+        let r = run_tree_churn(kind, &tree_params);
+        println!(
+            "{:<9} {:>10.0} ops/s  {:.2} deferrals/op  grows={} shrinks={} peak={}",
+            r.allocator, r.ops_per_sec, r.deferred_per_op, r.stats.grows, r.stats.shrinks,
+            r.stats.slabs_peak
+        );
+        tree_reports.push(r);
+    }
+
+    if let Some(path) = json_path {
+        let blob = serde_json::json!({
+            "alloc_cost": cost,
+            "figure6": fig6,
+            "figure3": { "slub": slub3, "prudence": prudence3 },
+            "figures7_to_13": comparisons,
+            "tree_churn": tree_reports,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serialize"))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Standalone Figure 6 sweep with per-run allocator attributes.
+//!
+//! ```text
+//! cargo run --release -p pbs-workloads --bin microbench [pairs_per_thread]
+//! ```
+
+use pbs_workloads::figures::FIG6_SIZES;
+use pbs_workloads::microbench::{run_microbench, MicrobenchParams};
+use pbs_workloads::AllocatorKind;
+
+fn main() {
+    let pairs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200_000);
+    let params = MicrobenchParams {
+        pairs_per_thread: pairs,
+        ..MicrobenchParams::default()
+    };
+    println!(
+        "Figure 6 microbenchmark: {} threads x {} kmalloc/kfree_deferred pairs",
+        params.threads, params.pairs_per_thread
+    );
+    println!(
+        "{:<9} {:>5} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6}",
+        "alloc", "size", "pairs/s", "hit%", "refills", "flushes", "grows", "shrinks", "peak"
+    );
+    for size in FIG6_SIZES {
+        for kind in AllocatorKind::BOTH {
+            let point = run_microbench(kind, size, &params);
+            let s = &point.stats;
+            println!(
+                "{:<9} {:>5} {:>12.0} {:>6.1}% {:>9} {:>9} {:>7} {:>7} {:>6}",
+                kind.label(),
+                size,
+                point.pairs_per_sec,
+                s.hit_percent(),
+                s.refills,
+                s.flushes,
+                s.grows,
+                s.shrinks,
+                s.slabs_peak
+            );
+        }
+    }
+}

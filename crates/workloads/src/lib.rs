@@ -1,0 +1,29 @@
+//! # pbs-workloads — benchmark drivers regenerating the paper's evaluation
+//!
+//! One module per experiment in *Prudent Memory Reclamation in
+//! Procrastination-Based Synchronization* (ASPLOS '16):
+//!
+//! | module | paper result |
+//! |---|---|
+//! | [`alloc_cost`] | §3.3 — refill ≈ 4× and grow ≈ 14× the cost of a cache hit |
+//! | [`endurance`] | Figure 3 — SLUB+RCU memory growth → OOM vs Prudence equilibrium |
+//! | [`microbench`] | Figure 6 — kmalloc/kfree_deferred pairs per second by object size |
+//! | [`apps`] | Figures 7–13 — Postmark / Netperf / Apache / PostgreSQL emulations |
+//! | [`tree_churn`] | extension: §3.1 multi-deferral amplification on an RCU tree |
+//! | [`figures`] | orchestration + paper-style table rendering |
+//!
+//! Every driver runs unchanged over both allocators via [`Testbed`], so a
+//! comparison is always like-for-like: same page allocator limits, same
+//! RCU domain parameters, same sizing heuristics.
+
+pub mod alloc_cost;
+pub mod apps;
+pub mod endurance;
+pub mod figures;
+pub mod microbench;
+mod report;
+mod testbed;
+pub mod tree_churn;
+
+pub use report::{AppComparison, AppResult, CacheComparison};
+pub use testbed::{AllocatorKind, Testbed};

@@ -1,0 +1,190 @@
+//! Figure 6: kmalloc/kfree_deferred pairs per second by object size.
+//!
+//! The paper runs `kmalloc()/kfree_deferred()` in a tight loop on all CPUs
+//! for object sizes up to 4096 bytes and reports pairs per second. The
+//! baseline allocator suffers because deferred objects are reclaimed by
+//! throttled background callbacks: the allocator keeps refilling and
+//! growing while freed memory sits in the callback backlog. When the page
+//! allocator's budget is exhausted, the baseline stalls until reclaim
+//! catches up — the userspace analog of kernel direct reclaim. Prudence
+//! reaches a steady state where allocations are served from merged latent
+//! objects.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use pbs_alloc_api::{AllocError, ObjectAllocator};
+use pbs_rcu::RcuConfig;
+
+use crate::{AllocatorKind, Testbed};
+
+/// Parameters for a microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct MicrobenchParams {
+    /// Worker threads (the paper uses all CPUs).
+    pub threads: usize,
+    /// kmalloc/kfree_deferred pairs per thread (5 million in the paper).
+    pub pairs_per_thread: u64,
+    /// Hard memory budget, bounding the baseline's deferred backlog.
+    pub memory_limit: usize,
+}
+
+impl Default for MicrobenchParams {
+    fn default() -> Self {
+        Self {
+            threads: num_threads(),
+            pairs_per_thread: 200_000,
+            memory_limit: 256 << 20,
+        }
+    }
+}
+
+/// A sensible default worker count for the current machine.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// One (object size, allocator) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicrobenchPoint {
+    /// Object size in bytes.
+    pub object_size: usize,
+    /// Pairs of kmalloc/kfree_deferred per second, all threads combined.
+    pub pairs_per_sec: f64,
+    /// Allocator attributes for the run (churns, peaks, hits).
+    pub stats: pbs_alloc_api::CacheStatsSnapshot,
+}
+
+/// Runs the tight loop for one allocator and one object size.
+pub fn run_microbench(
+    kind: AllocatorKind,
+    object_size: usize,
+    params: &MicrobenchParams,
+) -> MicrobenchPoint {
+    // Linux-like callback throttling: blimit-sized batches with softirq
+    // pacing. This is precisely the baseline behaviour the paper measures
+    // against; Prudence never touches the callback path.
+    let bed = Testbed::new(
+        kind,
+        params.threads,
+        RcuConfig::linux_like(),
+        Some(params.memory_limit),
+    );
+    let cache = bed.create_cache(&format!("kmalloc-{object_size}"), object_size);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..params.threads {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for _ in 0..params.pairs_per_thread {
+                    let obj = alloc_with_reclaim_stall(cache.as_ref());
+                    // Touch the object the way real writers initialize the
+                    // new version before publishing it.
+                    // SAFETY: fresh exclusive object.
+                    unsafe {
+                        obj.as_ptr().cast::<u64>().write(0xC0FFEE);
+                        cache.free_deferred(obj);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total_pairs = params.threads as u64 * params.pairs_per_thread;
+    let stats = cache.stats();
+    cache.quiesce();
+    MicrobenchPoint {
+        object_size,
+        pairs_per_sec: total_pairs as f64 / elapsed.as_secs_f64(),
+        stats,
+    }
+}
+
+/// Allocates, stalling on OOM the way kernel allocations enter direct
+/// reclaim: back off briefly and retry while background reclamation
+/// catches up. (Prudence rarely hits this path: its OOM deferral reclaims
+/// latent objects internally.)
+fn alloc_with_reclaim_stall(cache: &dyn ObjectAllocator) -> pbs_alloc_api::ObjPtr {
+    let mut backoff = 1u64;
+    loop {
+        match cache.allocate() {
+            Ok(obj) => return obj,
+            Err(AllocError::OutOfMemory) => {
+                std::thread::sleep(Duration::from_micros(backoff.min(200)));
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+    }
+}
+
+/// Runs Figure 6 for both allocators across the paper's size range.
+pub fn figure6(
+    sizes: &[usize],
+    params: &MicrobenchParams,
+) -> Vec<(AllocatorKind, MicrobenchPoint)> {
+    let mut out = Vec::new();
+    for &size in sizes {
+        for kind in AllocatorKind::BOTH {
+            out.push((kind, run_microbench(kind, size, params)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MicrobenchParams {
+        MicrobenchParams {
+            threads: 2,
+            pairs_per_thread: 3_000,
+            memory_limit: 64 << 20,
+        }
+    }
+
+    #[test]
+    fn prudence_completes_and_reports_rate() {
+        let p = run_microbench(AllocatorKind::Prudence, 512, &small());
+        assert!(p.pairs_per_sec > 0.0);
+        assert_eq!(p.object_size, 512);
+    }
+
+    #[test]
+    fn slub_completes_within_memory_limit() {
+        let p = run_microbench(AllocatorKind::Slub, 512, &small());
+        assert!(p.pairs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn prudence_improves_allocator_attributes() {
+        // Timing claims are checked by the release-mode benches; in unit
+        // tests we assert the robust allocator-attribute wins the paper
+        // reports in Figures 9-10: Prudence needs fewer slab grows and a
+        // lower peak slab count because deferred objects stay reusable.
+        let params = MicrobenchParams {
+            threads: 2,
+            pairs_per_thread: 20_000,
+            memory_limit: 32 << 20,
+        };
+        let slub = run_microbench(AllocatorKind::Slub, 1024, &params);
+        let prudence = run_microbench(AllocatorKind::Prudence, 1024, &params);
+        assert!(
+            prudence.stats.grows < slub.stats.grows,
+            "prudence grows {} !< slub grows {}",
+            prudence.stats.grows,
+            slub.stats.grows
+        );
+        assert!(
+            prudence.stats.slabs_peak < slub.stats.slabs_peak,
+            "prudence peak {} !< slub peak {}",
+            prudence.stats.slabs_peak,
+            slub.stats.slabs_peak
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! The shared experiment environment.
+
+use std::sync::Arc;
+
+use pbs_alloc_api::{CacheFactory, ObjectAllocator};
+use pbs_mem::PageAllocator;
+use pbs_rcu::{Rcu, RcuConfig};
+use pbs_slub::SlubFactory;
+use prudence::{PrudenceConfig, PrudenceFactory};
+
+/// Which allocator design a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// The SLUB-style baseline with RCU-callback deferred frees.
+    Slub,
+    /// The Prudence allocator (latent caches/slabs).
+    Prudence,
+}
+
+impl AllocatorKind {
+    /// Both designs, baseline first (the order figures are reported in).
+    pub const BOTH: [AllocatorKind; 2] = [AllocatorKind::Slub, AllocatorKind::Prudence];
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocatorKind::Slub => "slub",
+            AllocatorKind::Prudence => "prudence",
+        }
+    }
+}
+
+impl std::fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One experiment environment: a page allocator (optionally limited), an
+/// RCU domain, and a cache factory for the chosen allocator design.
+///
+/// # Example
+///
+/// ```
+/// use pbs_workloads::{AllocatorKind, Testbed};
+///
+/// let bed = Testbed::new(AllocatorKind::Prudence, 2, pbs_rcu::RcuConfig::eager(), None);
+/// let cache = bed.create_cache("t", 64);
+/// let obj = cache.allocate()?;
+/// unsafe { cache.free(obj) };
+/// # Ok::<(), pbs_alloc_api::AllocError>(())
+/// ```
+pub struct Testbed {
+    kind: AllocatorKind,
+    pages: Arc<PageAllocator>,
+    rcu: Arc<Rcu>,
+    factory: Box<dyn CacheFactory>,
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed").field("kind", &self.kind).finish()
+    }
+}
+
+impl Testbed {
+    /// Builds a testbed with `ncpus` CPU slots, the given RCU throttling
+    /// parameters and an optional hard memory limit in bytes.
+    pub fn new(
+        kind: AllocatorKind,
+        ncpus: usize,
+        mut rcu_config: RcuConfig,
+        limit_bytes: Option<usize>,
+    ) -> Self {
+        let mut builder = PageAllocator::builder();
+        if let Some(limit) = limit_bytes {
+            builder = builder.limit_bytes(limit);
+        }
+        let pages = Arc::new(builder.build());
+        // As in the kernel, RCU reacts to memory pressure by expediting
+        // callback processing (§3.5); wire the page allocator's pressure
+        // signal in whenever a memory limit exists.
+        if rcu_config.pressure_probe.is_none() && limit_bytes.is_some() {
+            let probe_pages = Arc::clone(&pages);
+            rcu_config = rcu_config
+                .with_pressure_probe(Arc::new(move || probe_pages.pressure()));
+        }
+        let rcu = Arc::new(Rcu::with_config(rcu_config));
+        let factory: Box<dyn CacheFactory> = match kind {
+            AllocatorKind::Slub => Box::new(SlubFactory::new(
+                ncpus,
+                Arc::clone(&pages),
+                Arc::clone(&rcu),
+            )),
+            AllocatorKind::Prudence => Box::new(PrudenceFactory::new(
+                PrudenceConfig::new(ncpus),
+                Arc::clone(&pages),
+                Arc::clone(&rcu),
+            )),
+        };
+        Self {
+            kind,
+            pages,
+            rcu,
+            factory,
+        }
+    }
+
+    /// Which allocator design this testbed runs.
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+
+    /// The shared page allocator (for memory sampling and limits).
+    pub fn pages(&self) -> &Arc<PageAllocator> {
+        &self.pages
+    }
+
+    /// The shared RCU domain.
+    pub fn rcu(&self) -> &Arc<Rcu> {
+        &self.rcu
+    }
+
+    /// The cache factory for subsystem construction.
+    pub fn factory(&self) -> &dyn CacheFactory {
+        self.factory.as_ref()
+    }
+
+    /// Convenience: creates one named cache.
+    pub fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
+        self.factory.create_cache(name, object_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_kinds() {
+        for kind in AllocatorKind::BOTH {
+            let bed = Testbed::new(kind, 2, RcuConfig::eager(), Some(1 << 24));
+            let cache = bed.create_cache("x", 128);
+            let o = cache.allocate().unwrap();
+            unsafe { cache.free_deferred(o) };
+            cache.quiesce();
+            assert_eq!(cache.stats().deferred_frees, 1);
+            assert_eq!(bed.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AllocatorKind::Slub.label(), "slub");
+        assert_eq!(AllocatorKind::Prudence.to_string(), "prudence");
+    }
+}

@@ -1,0 +1,104 @@
+//! §3.4 denial-of-service scenario: a malicious open/close flood.
+//!
+//! The paper: extended object lifetimes "can be exploited to create
+//! denial-of-service attacks ... a malicious user performs file open-close
+//! operations in a tight loop to generate [a] high rate of deferred
+//! objects", exhausting memory. With the baseline, deferred `filp`
+//! objects pile up in the throttled RCU-callback backlog until allocation
+//! fails; Prudence reuses them right after each grace period and rides
+//! out the flood inside a small memory budget.
+//!
+//! ```text
+//! cargo run --release --example dos_resilience
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prudence_repro::alloc_api::CacheFactory;
+use prudence_repro::mem::PageAllocator;
+use prudence_repro::prudence::{PrudenceConfig, PrudenceFactory};
+use prudence_repro::rcu::{Rcu, RcuConfig};
+use prudence_repro::simfs::{FsError, SimFs};
+use prudence_repro::slub::SlubFactory;
+
+const MEMORY_BUDGET: usize = 4 << 20; // a deliberately tight 4 MiB
+const ATTACK: Duration = Duration::from_secs(2);
+const ATTACKERS: usize = 2;
+
+fn flood(label: &str, rcu: &Arc<Rcu>, pages: &Arc<PageAllocator>, factory: &dyn CacheFactory) {
+    let fs = SimFs::new(factory);
+    let ino = fs.create(0, 1).expect("target file");
+    let start = Instant::now();
+    let mut opens = 0u64;
+    let mut failed = false;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..ATTACKERS {
+            let fs = &fs;
+            handles.push(s.spawn(move || {
+                let mut local = 0u64;
+                while start.elapsed() < ATTACK {
+                    match fs.open(ino) {
+                        Ok(fd) => {
+                            fs.close(fd).expect("close");
+                            local += 1;
+                        }
+                        Err(FsError::NoMemory) => return (local, true),
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                (local, false)
+            }));
+        }
+        for h in handles {
+            let (local, oom) = h.join().expect("attacker thread");
+            opens += local;
+            failed |= oom;
+        }
+    });
+    let backlog = rcu.callback_backlog();
+    println!(
+        "{label:9} {opens:>9} open/close cycles | peak mem {:>5} KiB | callback backlog peak {:>6} | {}",
+        pages.peak_bytes() / 1024,
+        rcu.stats().max_callback_backlog.max(backlog),
+        if failed {
+            "ALLOCATION FAILED (DoS succeeded)"
+        } else {
+            "survived the flood"
+        }
+    );
+    fs.quiesce();
+}
+
+fn main() {
+    println!(
+        "open/close flood: {ATTACKERS} attackers, {} MiB memory budget, {:?}\n",
+        MEMORY_BUDGET >> 20,
+        ATTACK
+    );
+    {
+        let pages = Arc::new(
+            PageAllocator::builder()
+                .limit_bytes(MEMORY_BUDGET)
+                .build(),
+        );
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::linux_like()));
+        let factory = SlubFactory::new(ATTACKERS, Arc::clone(&pages), Arc::clone(&rcu));
+        flood("slub", &rcu, &pages, &factory);
+    }
+    {
+        let pages = Arc::new(
+            PageAllocator::builder()
+                .limit_bytes(MEMORY_BUDGET)
+                .build(),
+        );
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::linux_like()));
+        let factory = PrudenceFactory::new(
+            PrudenceConfig::new(ATTACKERS),
+            Arc::clone(&pages),
+            Arc::clone(&rcu),
+        );
+        flood("prudence", &rcu, &pages, &factory);
+    }
+}

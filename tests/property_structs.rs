@@ -1,0 +1,220 @@
+//! Model-based property tests: the RCU data structures must behave like
+//! their std-collection models under arbitrary operation sequences, on
+//! both allocators.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use prudence_repro::alloc_api::ObjectAllocator;
+use prudence_repro::mem::PageAllocator;
+use prudence_repro::prudence::{PrudenceCache, PrudenceConfig};
+use prudence_repro::rcu::{Rcu, RcuConfig};
+use prudence_repro::slub::SlubCache;
+use prudence_repro::structs::{RcuBst, RcuHashMap, RcuList};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    InsertIfAbsent(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    let key = 0u64..32;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::InsertIfAbsent(k, v)),
+        key.clone().prop_map(MapOp::Remove),
+        key.prop_map(MapOp::Get),
+    ]
+}
+
+fn check_map(cache: Arc<dyn ObjectAllocator>, rcu: Arc<Rcu>, ops: &[MapOp]) {
+    let map: RcuHashMap<u64, u64> = RcuHashMap::new(Arc::clone(&cache), 8);
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let t = rcu.register();
+    for op in ops {
+        match *op {
+            MapOp::Insert(k, v) => {
+                let replaced = map.insert(k, v).unwrap();
+                assert_eq!(replaced, model.insert(k, v).is_some());
+            }
+            MapOp::InsertIfAbsent(k, v) => {
+                let inserted = map.insert_if_absent(k, v).unwrap();
+                if inserted {
+                    assert!(model.insert(k, v).is_none());
+                }
+            }
+            MapOp::Remove(k) => {
+                assert_eq!(map.remove(&k), model.remove(&k));
+            }
+            MapOp::Get(k) => {
+                let g = t.read_lock();
+                assert_eq!(map.get(&g, &k), model.get(&k).copied());
+            }
+        }
+        assert_eq!(map.len(), model.len());
+    }
+    // Full-content check.
+    let g = t.read_lock();
+    let mut seen = HashMap::new();
+    map.for_each(&g, |k, v| {
+        seen.insert(*k, *v);
+    });
+    assert_eq!(seen, model);
+    drop(g);
+    drop(map);
+    cache.quiesce();
+    assert_eq!(cache.stats().live_objects, 0);
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    let key = 0u64..48;
+    prop_oneof![
+        3 => (key.clone(), any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        2 => key.clone().prop_map(TreeOp::Remove),
+        2 => key.prop_map(TreeOp::Lookup),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+fn list_op() -> impl Strategy<Value = ListOp> {
+    let key = 0u64..16;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| ListOp::Insert(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| ListOp::Update(k, v)),
+        key.clone().prop_map(ListOp::Remove),
+        key.prop_map(ListOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hashmap_matches_model_on_prudence(ops in proptest::collection::vec(map_op(), 1..150)) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::new(
+            "prop-map", 64, PrudenceConfig::new(1), pages, Arc::clone(&rcu),
+        ));
+        check_map(cache, rcu, &ops);
+    }
+
+    #[test]
+    fn hashmap_matches_model_on_slub(ops in proptest::collection::vec(map_op(), 1..150)) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> =
+            SlubCache::new("prop-map", 64, 1, pages, Arc::clone(&rcu));
+        check_map(cache, rcu, &ops);
+    }
+
+    #[test]
+    fn list_matches_model(ops in proptest::collection::vec(list_op(), 1..120)) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::new(
+            "prop-list", 64, PrudenceConfig::new(1), pages, Arc::clone(&rcu),
+        ));
+        let list: RcuList<u64> = RcuList::new(Arc::clone(&cache));
+        // Model: insertion-ordered front list with duplicate keys allowed;
+        // lookup returns the most recently inserted entry for a key.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let t = rcu.register();
+        for op in &ops {
+            match *op {
+                ListOp::Insert(k, v) => {
+                    list.insert(k, v).unwrap();
+                    model.insert(0, (k, v));
+                }
+                ListOp::Update(k, v) => {
+                    let updated = list.update(k, v).unwrap();
+                    let pos = model.iter().position(|&(mk, _)| mk == k);
+                    assert_eq!(updated, pos.is_some());
+                    if let Some(p) = pos {
+                        model[p].1 = v;
+                    }
+                }
+                ListOp::Remove(k) => {
+                    let removed = list.remove(k);
+                    let pos = model.iter().position(|&(mk, _)| mk == k);
+                    assert_eq!(removed, pos.is_some());
+                    if let Some(p) = pos {
+                        model.remove(p);
+                    }
+                }
+                ListOp::Lookup(k) => {
+                    let g = t.read_lock();
+                    let expected = model.iter().find(|&&(mk, _)| mk == k).map(|&(_, v)| v);
+                    assert_eq!(list.lookup(&g, k), expected);
+                }
+            }
+            assert_eq!(list.len(), model.len());
+        }
+        let g = t.read_lock();
+        let mut seen = Vec::new();
+        list.for_each(&g, |k, v| seen.push((k, *v)));
+        assert_eq!(seen, model);
+        drop(g);
+        drop(list);
+        cache.quiesce();
+        assert_eq!(cache.stats().live_objects, 0);
+    }
+
+    #[test]
+    fn bst_matches_btreemap_model(ops in proptest::collection::vec(tree_op(), 1..200)) {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::new(
+            "prop-bst", 64, PrudenceConfig::new(1), pages, Arc::clone(&rcu),
+        ));
+        let tree: RcuBst<u64> = RcuBst::new(Arc::clone(&cache));
+        let mut model: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let t = rcu.register();
+        for op in &ops {
+            match *op {
+                TreeOp::Insert(k, v) => {
+                    let replaced = tree.insert(k, v).unwrap();
+                    assert_eq!(replaced, model.insert(k, v).is_some());
+                }
+                TreeOp::Remove(k) => {
+                    assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                TreeOp::Lookup(k) => {
+                    let g = t.read_lock();
+                    assert_eq!(tree.lookup(&g, k), model.get(&k).copied());
+                }
+            }
+            assert_eq!(tree.len(), model.len());
+        }
+        // In-order traversal must match the sorted model exactly (checks
+        // the BST invariant survives successor-path rebuilding).
+        let g = t.read_lock();
+        let mut seen = Vec::new();
+        tree.for_each(&g, |k, v| seen.push((k, *v)));
+        let expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(seen, expected);
+        drop(g);
+        drop(tree);
+        cache.quiesce();
+        assert_eq!(cache.stats().live_objects, 0);
+    }
+}
