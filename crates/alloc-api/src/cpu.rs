@@ -7,7 +7,7 @@
 //! threads as slots each thread gets a private cache — the same contention
 //! structure as kernel per-CPU data.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A CPU-slot index in `0..ncpus`.
@@ -17,6 +17,12 @@ pub struct CpuId(pub usize);
 static NEXT_REGISTRY_ID: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
+    /// One-entry inline cache over [`SLOTS`]: the (registry id, slot) of
+    /// the last lookup. A thread hammering one allocator — the hot-path
+    /// case — resolves its slot with a single `Cell` read instead of a
+    /// `RefCell` borrow plus a scan.
+    static LAST_SLOT: Cell<(usize, usize)> = const { Cell::new((usize::MAX, 0)) };
+
     /// Maps registry id → assigned slot for this thread. Registries are few
     /// per process, so a linear-scan Vec beats a HashMap on the hot path.
     static SLOTS: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
@@ -63,16 +69,28 @@ impl CpuRegistry {
     }
 
     /// The calling thread's slot, assigned round-robin on first use.
+    #[inline]
     pub fn current_cpu(&self) -> CpuId {
-        SLOTS.with(|slots| {
+        let (id, slot) = LAST_SLOT.with(Cell::get);
+        if id == self.id {
+            return CpuId(slot);
+        }
+        self.current_cpu_slow()
+    }
+
+    #[cold]
+    fn current_cpu_slow(&self) -> CpuId {
+        let slot = SLOTS.with(|slots| {
             let mut slots = slots.borrow_mut();
             if let Some(&(_, slot)) = slots.iter().find(|(id, _)| *id == self.id) {
-                return CpuId(slot);
+                return slot;
             }
             let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.ncpus;
             slots.push((self.id, slot));
-            CpuId(slot)
-        })
+            slot
+        });
+        LAST_SLOT.with(|last| last.set((self.id, slot)));
+        CpuId(slot)
     }
 }
 

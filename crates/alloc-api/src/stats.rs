@@ -1,44 +1,146 @@
 //! Slab-cache statistics: the raw material for the paper's Figures 7–11.
+//!
+//! # Hot-path design
+//!
+//! Counters touched on every allocation or free live in per-CPU
+//! [`StatShard`]s, one cache-padded block per CPU slot, and are updated
+//! with plain `Relaxed` load/store pairs instead of atomic
+//! read-modify-writes. The discipline that makes this sound mirrors the
+//! kernel's percpu counters: a shard's single-writer counters are only
+//! bumped while the owning per-CPU slot lock is held, so at most one
+//! thread writes a given counter at a time and the lock's release/acquire
+//! edges order successive writers. Readers ([`CacheStats::snapshot`]) sum
+//! the shards locklessly and may observe a bump late — fine for
+//! reporting, which only runs after quiescence.
+//!
+//! Events recorded *outside* any slot lock (node-lock contention,
+//! slot-lock misses) use [`Counter::add_contended`], a real `fetch_add`,
+//! because they can race; they are off the hot path by definition.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
+use crossbeam::utils::CachePadded;
 use serde::{Deserialize, Serialize};
 
-/// Live atomic counters maintained by a slab cache.
-///
-/// Allocators update these on their hot paths; experiments read a
-/// [`CacheStatsSnapshot`] at the end of a run.
+/// A single event counter inside a [`StatShard`].
 #[derive(Debug, Default)]
-pub struct CacheStats {
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1 from the shard's owner (the holder of the matching per-CPU
+    /// slot lock). A plain load/store pair — no atomic RMW — so callers
+    /// must hold that lock; see the module docs.
+    #[inline]
+    pub fn bump(&self) {
+        self.bump_by(1);
+    }
+
+    /// Owner-only add, as [`Counter::bump`].
+    #[inline]
+    pub fn bump_by(&self, n: u64) {
+        self.0
+            .store(self.0.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+    }
+
+    /// Adds from any thread (atomic RMW) for events recorded outside the
+    /// shard's slot lock.
+    #[inline]
+    pub fn add_contended(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed per-shard tally (live-object delta: allocations minus frees
+/// attributed to this shard; individual shards can go negative when an
+/// object is allocated on one CPU and freed on another).
+#[derive(Debug, Default)]
+pub struct SignedCounter(AtomicI64);
+
+impl SignedCounter {
+    /// Owner-only `+1`; same single-writer contract as [`Counter::bump`].
+    #[inline]
+    pub fn bump_add(&self) {
+        self.0
+            .store(self.0.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Owner-only `-1`.
+    #[inline]
+    pub fn bump_sub(&self) {
+        self.0
+            .store(self.0.load(Ordering::Relaxed).wrapping_sub(1), Ordering::Relaxed);
+    }
+
+    /// Atomic add for writers that do *not* hold the owning slot's lock;
+    /// the signed counterpart of [`Counter::add_contended`].
+    #[inline]
+    pub fn add_contended(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-CPU block of hot-path counters. One per CPU slot, cache-padded so
+/// slots never false-share.
+#[derive(Debug, Default)]
+pub struct StatShard {
     /// Allocation requests served (successfully).
-    pub alloc_requests: AtomicU64,
+    pub alloc_requests: Counter,
     /// Allocations served directly from the per-CPU object cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Allocations served after merging safe deferred objects from the
     /// latent cache (Prudence only; counted as hits for Figure 7, tracked
     /// separately for diagnostics).
-    pub latent_hits: AtomicU64,
+    pub latent_hits: Counter,
     /// Immediate frees.
-    pub frees: AtomicU64,
+    pub frees: Counter,
     /// Deferred frees (`free_deferred`).
-    pub deferred_frees: AtomicU64,
+    pub deferred_frees: Counter,
     /// Object-cache refill operations (from node slabs).
-    pub refills: AtomicU64,
+    pub refills: Counter,
     /// Refills that were *partial* because deferred objects were pending in
     /// the latent cache (Prudence optimization, §4.2).
-    pub partial_refills: AtomicU64,
+    pub partial_refills: Counter,
     /// Object-cache flush operations (to node slabs).
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Latent-cache pre-flush operations performed off the hot path.
-    pub preflushes: AtomicU64,
-    /// Slab-cache grow operations (slabs allocated from the page allocator).
+    pub preflushes: Counter,
+    /// Slab pre-movements between full/partial/free lists (Prudence, §4.2).
+    pub pre_movements: Counter,
+    /// Times the node-list lock was contended (try_lock failed). Recorded
+    /// outside slot locks: use [`Counter::add_contended`].
+    pub node_lock_contended: Counter,
+    /// Times the home CPU slot's try_lock failed and the allocation took
+    /// the slow path (spin, neighbor slot, or blocking acquire). Recorded
+    /// outside slot locks: use [`Counter::add_contended`].
+    pub cpu_slot_misses: Counter,
+    /// Live-object delta attributed to this shard.
+    pub live_delta: SignedCounter,
+}
+
+/// Live statistics maintained by a slab cache: sharded hot counters plus
+/// a few cold, globally-shared ones.
+///
+/// Allocators update shards on their hot paths; experiments read a
+/// [`CacheStatsSnapshot`] at the end of a run.
+#[derive(Debug)]
+pub struct CacheStats {
+    /// One shard per CPU slot.
+    shards: Box<[CachePadded<StatShard>]>,
+    /// Slab-cache grow operations (slabs allocated from the page
+    /// allocator). Cold: a grow amortizes over a whole slab of objects.
     pub grows: AtomicU64,
     /// Slab-cache shrink operations (slabs returned to the page allocator).
     pub shrinks: AtomicU64,
-    /// Slab pre-movements between full/partial/free lists (Prudence, §4.2).
-    pub pre_movements: AtomicU64,
-    /// Times the node-list lock was contended (try_lock failed).
-    pub node_lock_contended: AtomicU64,
     /// Times an allocation had to wait for a grace period under memory
     /// pressure instead of triggering OOM (Prudence, §4.2).
     pub oom_waits: AtomicU64,
@@ -46,17 +148,39 @@ pub struct CacheStats {
     pub slabs_current: AtomicUsize,
     /// Peak of `slabs_current`.
     pub slabs_peak: AtomicUsize,
-    /// Objects currently live from the cache user's perspective
-    /// (allocated − freed − deferred-freed). Deferred objects stop being
-    /// "requested" at defer time, matching the paper's fragmentation
-    /// accounting.
-    pub live_objects: AtomicI64,
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        Self::new(1)
+    }
 }
 
 impl CacheStats {
-    /// Creates zeroed statistics.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates zeroed statistics with one shard per CPU slot (at least
+    /// one).
+    pub fn new(nshards: usize) -> Self {
+        Self {
+            shards: (0..nshards.max(1))
+                .map(|_| CachePadded::new(StatShard::default()))
+                .collect(),
+            grows: AtomicU64::new(0),
+            shrinks: AtomicU64::new(0),
+            oom_waits: AtomicU64::new(0),
+            slabs_current: AtomicUsize::new(0),
+            slabs_peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard for CPU slot `cpu` (wrapped into range, like CPU-slot
+    /// selection itself).
+    #[inline]
+    pub fn shard(&self, cpu: usize) -> &StatShard {
+        // Callers pass an in-range slot index on every hot path; branch
+        // instead of `%` so the common case skips a hardware divide.
+        let n = self.shards.len();
+        let idx = if cpu < n { cpu } else { cpu % n };
+        &self.shards[idx]
     }
 
     /// Records that a slab was allocated, maintaining the peak watermark.
@@ -83,29 +207,37 @@ impl CacheStats {
         self.slabs_current.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Takes a consistent-enough snapshot for reporting.
+    /// Takes a consistent-enough snapshot for reporting, summing all
+    /// shards.
     pub fn snapshot(&self, object_size: usize, slab_bytes: usize) -> CacheStatsSnapshot {
-        CacheStatsSnapshot {
+        let mut snap = CacheStatsSnapshot {
             object_size,
             slab_bytes,
-            alloc_requests: self.alloc_requests.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            latent_hits: self.latent_hits.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
-            deferred_frees: self.deferred_frees.load(Ordering::Relaxed),
-            refills: self.refills.load(Ordering::Relaxed),
-            partial_refills: self.partial_refills.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            preflushes: self.preflushes.load(Ordering::Relaxed),
             grows: self.grows.load(Ordering::Relaxed),
             shrinks: self.shrinks.load(Ordering::Relaxed),
-            pre_movements: self.pre_movements.load(Ordering::Relaxed),
-            node_lock_contended: self.node_lock_contended.load(Ordering::Relaxed),
             oom_waits: self.oom_waits.load(Ordering::Relaxed),
             slabs_current: self.slabs_current.load(Ordering::Relaxed),
             slabs_peak: self.slabs_peak.load(Ordering::Relaxed),
-            live_objects: self.live_objects.load(Ordering::Relaxed).max(0) as u64,
+            ..CacheStatsSnapshot::default()
+        };
+        let mut live = 0i64;
+        for shard in self.shards.iter() {
+            snap.alloc_requests += shard.alloc_requests.get();
+            snap.cache_hits += shard.cache_hits.get();
+            snap.latent_hits += shard.latent_hits.get();
+            snap.frees += shard.frees.get();
+            snap.deferred_frees += shard.deferred_frees.get();
+            snap.refills += shard.refills.get();
+            snap.partial_refills += shard.partial_refills.get();
+            snap.flushes += shard.flushes.get();
+            snap.preflushes += shard.preflushes.get();
+            snap.pre_movements += shard.pre_movements.get();
+            snap.node_lock_contended += shard.node_lock_contended.get();
+            snap.cpu_slot_misses += shard.cpu_slot_misses.get();
+            live += shard.live_delta.get();
         }
+        snap.live_objects = live.max(0) as u64;
+        snap
     }
 }
 
@@ -116,7 +248,7 @@ impl CacheStats {
 /// ```
 /// use pbs_alloc_api::CacheStats;
 ///
-/// let stats = CacheStats::new();
+/// let stats = CacheStats::new(2);
 /// stats.record_grow();
 /// let snap = stats.snapshot(64, 4096);
 /// assert_eq!(snap.slabs_peak, 1);
@@ -128,7 +260,7 @@ pub struct CacheStatsSnapshot {
     pub object_size: usize,
     /// Bytes per slab.
     pub slab_bytes: usize,
-    /// See [`CacheStats`] field docs for each counter.
+    /// See [`StatShard`]/[`CacheStats`] field docs for each counter.
     pub alloc_requests: u64,
     /// Allocations served directly from the object cache.
     pub cache_hits: u64,
@@ -154,6 +286,8 @@ pub struct CacheStatsSnapshot {
     pub pre_movements: u64,
     /// Contended node-lock acquisitions.
     pub node_lock_contended: u64,
+    /// Home-CPU-slot try_lock misses (allocation took a slow path).
+    pub cpu_slot_misses: u64,
     /// OOM-deferral waits.
     pub oom_waits: u64,
     /// Slabs currently held.
@@ -227,6 +361,7 @@ impl CacheStatsSnapshot {
         self.shrinks += other.shrinks;
         self.pre_movements += other.pre_movements;
         self.node_lock_contended += other.node_lock_contended;
+        self.cpu_slot_misses += other.cpu_slot_misses;
         self.oom_waits += other.oom_waits;
         self.slabs_current += other.slabs_current;
         self.slabs_peak += other.slabs_peak;
@@ -239,7 +374,7 @@ mod tests {
     use super::*;
 
     fn snap_with(f: impl FnOnce(&CacheStats)) -> CacheStatsSnapshot {
-        let s = CacheStats::new();
+        let s = CacheStats::new(2);
         f(&s);
         s.snapshot(64, 4096)
     }
@@ -247,9 +382,9 @@ mod tests {
     #[test]
     fn hit_percent_counts_latent_hits() {
         let snap = snap_with(|s| {
-            s.alloc_requests.store(10, Ordering::Relaxed);
-            s.cache_hits.store(6, Ordering::Relaxed);
-            s.latent_hits.store(2, Ordering::Relaxed);
+            s.shard(0).alloc_requests.bump_by(10);
+            s.shard(0).cache_hits.bump_by(6);
+            s.shard(1).latent_hits.bump_by(2);
         });
         assert!((snap.hit_percent() - 80.0).abs() < 1e-9);
     }
@@ -262,8 +397,8 @@ mod tests {
     #[test]
     fn churns_are_pairs() {
         let snap = snap_with(|s| {
-            s.refills.store(10, Ordering::Relaxed);
-            s.flushes.store(7, Ordering::Relaxed);
+            s.shard(0).refills.bump_by(10);
+            s.shard(1).flushes.bump_by(7);
             s.grows.store(3, Ordering::Relaxed);
             s.shrinks.store(5, Ordering::Relaxed);
         });
@@ -274,8 +409,8 @@ mod tests {
     #[test]
     fn deferred_free_percent() {
         let snap = snap_with(|s| {
-            s.frees.store(75, Ordering::Relaxed);
-            s.deferred_frees.store(25, Ordering::Relaxed);
+            s.shard(0).frees.bump_by(75);
+            s.shard(1).deferred_frees.bump_by(25);
         });
         assert!((snap.deferred_free_percent() - 25.0).abs() < 1e-9);
     }
@@ -284,7 +419,9 @@ mod tests {
     fn fragmentation_formula() {
         let snap = snap_with(|s| {
             s.slabs_current.store(2, Ordering::Relaxed);
-            s.live_objects.store(64, Ordering::Relaxed);
+            for _ in 0..64 {
+                s.shard(0).live_delta.bump_add();
+            }
         });
         // 2 slabs * 4096 B / (64 objects * 64 B) = 2.0
         assert!((snap.total_fragmentation().unwrap() - 2.0).abs() < 1e-9);
@@ -296,8 +433,34 @@ mod tests {
     }
 
     #[test]
+    fn shards_sum_and_wrap() {
+        let s = CacheStats::new(2);
+        s.shard(0).alloc_requests.bump();
+        s.shard(1).alloc_requests.bump();
+        // Slot index wraps modulo shard count, like CPU-slot selection.
+        s.shard(2).alloc_requests.bump();
+        s.shard(3).cpu_slot_misses.add_contended(2);
+        let snap = s.snapshot(64, 4096);
+        assert_eq!(snap.alloc_requests, 3);
+        assert_eq!(snap.cpu_slot_misses, 2);
+    }
+
+    #[test]
+    fn cross_shard_live_delta_balances() {
+        // Alloc on shard 0, free on shard 1: shard 1 goes negative but the
+        // summed snapshot stays balanced.
+        let s = CacheStats::new(2);
+        for _ in 0..3 {
+            s.shard(0).live_delta.bump_add();
+        }
+        s.shard(1).live_delta.bump_sub();
+        assert_eq!(s.shard(1).live_delta.get(), -1);
+        assert_eq!(s.snapshot(64, 4096).live_objects, 2);
+    }
+
+    #[test]
     fn grow_shrink_update_peak() {
-        let s = CacheStats::new();
+        let s = CacheStats::new(1);
         s.record_grow();
         s.record_grow();
         s.record_shrink();
@@ -312,12 +475,12 @@ mod tests {
     #[test]
     fn merge_sums_counters() {
         let mut a = snap_with(|s| {
-            s.alloc_requests.store(5, Ordering::Relaxed);
-            s.cache_hits.store(5, Ordering::Relaxed);
+            s.shard(0).alloc_requests.bump_by(5);
+            s.shard(0).cache_hits.bump_by(5);
         });
         let b = snap_with(|s| {
-            s.alloc_requests.store(5, Ordering::Relaxed);
-            s.cache_hits.store(1, Ordering::Relaxed);
+            s.shard(0).alloc_requests.bump_by(5);
+            s.shard(0).cache_hits.bump_by(1);
         });
         a.merge(&b);
         assert_eq!(a.alloc_requests, 10);
@@ -326,7 +489,7 @@ mod tests {
 
     #[test]
     fn snapshot_serializes() {
-        let snap = snap_with(|s| s.alloc_requests.store(1, Ordering::Relaxed));
+        let snap = snap_with(|s| s.shard(0).alloc_requests.bump());
         let json = serde_json::to_string(&snap).unwrap();
         let back: CacheStatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
+use crossbeam::utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 
 use pbs_alloc_api::{
@@ -39,7 +40,9 @@ pub(crate) struct Inner {
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
     cpus: CpuRegistry,
-    cpu_states: Vec<Mutex<CpuState>>,
+    /// Per-CPU slot state, cache-padded so neighbouring slots (and their
+    /// lock words) never share a line.
+    cpu_states: Vec<CachePadded<Mutex<CpuState>>>,
     node: Mutex<Node>,
     stats: CacheStats,
     /// Deferred objects anywhere in the allocator (latent caches + latent
@@ -87,13 +90,13 @@ impl PrudenceCache {
             policy,
             cpus: CpuRegistry::new(config.ncpus),
             cpu_states: (0..config.ncpus)
-                .map(|_| Mutex::new(CpuState::default()))
+                .map(|_| CachePadded::new(Mutex::new(CpuState::default())))
                 .collect(),
+            stats: CacheStats::new(config.ncpus),
             config,
             pages,
             rcu,
             node: Mutex::new(Node::default()),
-            stats: CacheStats::new(),
             deferred_outstanding: AtomicUsize::new(0),
             preflush_tx: Mutex::new(preflush_enabled.then_some(tx)),
         });
@@ -146,15 +149,52 @@ impl Drop for Inner {
     }
 }
 
+/// Spin budget on a busy home slot before trying neighbours: slot
+/// critical sections are a few dozen instructions, so a handful of
+/// `spin_loop` hints usually outlasts the holder without burning a
+/// timeslice.
+const SLOT_SPIN: usize = 24;
+
 impl Inner {
     fn lock_node(&self) -> MutexGuard<'_, Node> {
-        match self.node.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.stats.node_lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.node.lock()
+        if let Some(guard) = self.node.try_lock() {
+            return guard;
+        }
+        // Acquire first, count after: recording between the failed
+        // try_lock and the blocking acquire would let a relock race
+        // double-count one contention event, and the counter bump below is
+        // single-writer precisely because the node lock is already held.
+        let guard = self.node.lock();
+        self.stats.shard(0).node_lock_contended.bump();
+        guard
+    }
+
+    /// Acquires a per-CPU slot for the hot paths. Fast path: an
+    /// uncontended `try_lock` of the home slot. On contention: note the
+    /// miss, spin briefly (the holder's critical section is short), then
+    /// steal any other free slot, and only then block on the home slot.
+    /// Returns the index actually locked so callers attribute stats (and
+    /// pre-flush scheduling) to the right shard.
+    fn lock_cpu(&self) -> (usize, MutexGuard<'_, CpuState>) {
+        let home = self.cpus.current_cpu().0;
+        if let Some(guard) = self.cpu_states[home].try_lock() {
+            return (home, guard);
+        }
+        self.stats.shard(home).cpu_slot_misses.add_contended(1);
+        for _ in 0..SLOT_SPIN {
+            std::hint::spin_loop();
+            if let Some(guard) = self.cpu_states[home].try_lock() {
+                return (home, guard);
             }
         }
+        let n = self.cpu_states.len();
+        for offset in 1..n {
+            let idx = (home + offset) % n;
+            if let Some(guard) = self.cpu_states[idx].try_lock() {
+                return (idx, guard);
+            }
+        }
+        (home, self.cpu_states[home].lock())
     }
 
     fn note_reclaimed(&self, n: usize) {
@@ -172,30 +212,36 @@ impl Inner {
 
     /// MALLOC (Algorithm lines 1-12 and 29-33).
     fn allocate(&self) -> Result<ObjPtr, AllocError> {
-        self.stats.alloc_requests.fetch_add(1, Ordering::Relaxed);
-        let cpu_idx = self.cpus.current_cpu().0;
         let mut attempts = 0;
+        let mut counted_request = false;
         loop {
-            let mut cpu = self.cpu_states[cpu_idx].lock();
+            let (cpu_idx, mut cpu) = self.lock_cpu();
+            // All shard bumps below are single-writer: this thread holds
+            // the slot lock matching the shard.
+            let shard = self.stats.shard(cpu_idx);
+            if !counted_request {
+                shard.alloc_requests.bump();
+                counted_request = true;
+            }
             cpu.allocs_since += 1;
             if let Some(obj) = cpu.obj_cache.pop() {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+                shard.cache_hits.bump();
+                shard.live_delta.bump_add();
                 return Ok(obj);
             }
             // Lines 7-11: merge grace-period-complete latent objects and
             // retry before touching the node lists.
             if self.merge_caches(&mut cpu) > 0 {
                 if let Some(obj) = cpu.obj_cache.pop() {
-                    self.stats.latent_hits.fetch_add(1, Ordering::Relaxed);
-                    self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+                    shard.latent_hits.bump();
+                    shard.live_delta.bump_add();
                     return Ok(obj);
                 }
             }
-            match self.refill(&mut cpu) {
+            match self.refill(cpu_idx, &mut cpu) {
                 Ok(()) => {
                     let obj = cpu.obj_cache.pop().expect("refill produced objects");
-                    self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+                    shard.live_delta.bump_add();
                     return Ok(obj);
                 }
                 Err(e) => {
@@ -218,8 +264,8 @@ impl Inner {
     /// REFILL_OBJECT_CACHE (Algorithm lines 13-30): partial refill sized by
     /// pending deferred objects, deferred-aware slab selection, growing the
     /// cache as a last resort.
-    fn refill(&self, cpu: &mut CpuState) -> Result<(), AllocError> {
-        self.stats.refills.fetch_add(1, Ordering::Relaxed);
+    fn refill(&self, cpu_idx: usize, cpu: &mut CpuState) -> Result<(), AllocError> {
+        self.stats.shard(cpu_idx).refills.bump();
         let latent_count = if self.config.partial_refill {
             cpu.latent.len()
         } else {
@@ -237,7 +283,7 @@ impl Inner {
             .max(self.policy.object_cache_size / 4)
             .max(1);
         if want_total < self.policy.object_cache_size {
-            self.stats.partial_refills.fetch_add(1, Ordering::Relaxed);
+            self.stats.shard(cpu_idx).partial_refills.bump();
         }
         let mut node = self.lock_node();
         let epoch = self.rcu.current_epoch();
@@ -366,11 +412,11 @@ impl Inner {
     /// Object-cache flush with the proportional-flush optimization (§4.2):
     /// the more deferred objects pending in the latent cache, the more
     /// objects are flushed, so the post-grace-period merge will fit.
-    fn flush_obj_cache(&self, cpu: &mut CpuState) {
+    fn flush_obj_cache(&self, cpu_idx: usize, cpu: &mut CpuState) {
         if cpu.obj_cache.is_empty() {
             return;
         }
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats.shard(cpu_idx).flushes.bump();
         let base_keep = self.policy.object_cache_size / 2;
         let keep = if self.config.proportional_flush {
             base_keep.saturating_sub(cpu.latent.len())
@@ -413,7 +459,8 @@ impl Inner {
                 node.pending.push_back(index);
             }
             if node.relist(index) {
-                self.stats.pre_movements.fetch_add(1, Ordering::Relaxed);
+                // Single-writer: the node lock is held on every path here.
+                self.stats.shard(0).pre_movements.bump();
             }
         }
         self.shrink(&mut node);
@@ -447,7 +494,23 @@ impl Inner {
             .max(total_slabs / 2)
             + pending_slabs;
         if node.lists.len(ListKind::Free) <= limit {
+            node.shrink_excess_since = None;
             return;
+        }
+        // Temporal hysteresis: a reclamation burst can briefly push the
+        // free list over the limit even though the very next grace window
+        // of allocations will re-demand those slabs. Only release slabs
+        // once the excess has persisted for a full grace period — the same
+        // prudence argument (§3.1) applied to pages instead of objects. An
+        // idle cache still converges: quiesce advances epochs until the
+        // stamp completes.
+        match node.shrink_excess_since {
+            None => {
+                node.shrink_excess_since = Some(self.rcu.gp_state());
+                return;
+            }
+            Some(since) if !since.is_completed_at(self.rcu.current_epoch()) => return,
+            Some(_) => node.shrink_excess_since = None,
         }
         let epoch = self.rcu.current_epoch();
         let candidates: Vec<usize> = node.lists.list(ListKind::Free).to_vec();
@@ -486,7 +549,9 @@ impl Inner {
     pub(crate) fn preflush(&self, cpu_idx: usize) {
         let mut cpu = self.cpu_states[cpu_idx].lock();
         cpu.preflush_pending = false;
-        self.stats.preflushes.fetch_add(1, Ordering::Relaxed);
+        // Single-writer: only the pre-flush worker bumps this, and only
+        // while holding the matching slot lock.
+        self.stats.shard(cpu_idx).preflushes.bump();
         self.merge_caches(&mut cpu);
         let size = self.policy.object_cache_size;
         if cpu.total_cached() <= size {
@@ -526,12 +591,12 @@ impl Inner {
 
     /// FREE_DEFERRED (Algorithm lines 34-51).
     fn free_deferred_inner(&self, obj: ObjPtr) {
-        self.stats.deferred_frees.fetch_add(1, Ordering::Relaxed);
-        self.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
         self.deferred_outstanding.fetch_add(1, Ordering::Relaxed);
         let gp = self.rcu.gp_state(); // line 35
-        let cpu_idx = self.cpus.current_cpu().0;
-        let mut cpu = self.cpu_states[cpu_idx].lock();
+        let (cpu_idx, mut cpu) = self.lock_cpu();
+        let shard = self.stats.shard(cpu_idx);
+        shard.deferred_frees.bump();
+        shard.live_delta.bump_sub();
         cpu.defers_since += 1;
         if !self.config.latent_cache {
             drop(cpu);
@@ -548,8 +613,19 @@ impl Inner {
             return;
         }
         // Slow path (lines 45-51): make room, retry, else latent slab.
-        self.flush_obj_cache(&mut cpu);
-        self.merge_caches(&mut cpu);
+        // Flushing the object cache only helps by making room for the
+        // merge below, so skip both when the oldest latent stamp is still
+        // inside its grace period — nothing could merge, and the flush
+        // would just ping-pong freshly refilled objects back through the
+        // node lock (and on to slab grow/shrink churn).
+        let mergeable = cpu
+            .latent
+            .front()
+            .is_some_and(|&(_, gp)| gp.is_completed_at(self.rcu.current_epoch()));
+        if mergeable {
+            self.flush_obj_cache(cpu_idx, &mut cpu);
+            self.merge_caches(&mut cpu);
+        }
         if cpu.latent.len() < threshold {
             cpu.latent.push_back((obj, gp));
         } else {
@@ -600,14 +676,14 @@ impl ObjectAllocator for PrudenceCache {
 
     unsafe fn free(&self, obj: ObjPtr) {
         let inner = &self.inner;
-        inner.stats.frees.fetch_add(1, Ordering::Relaxed);
-        inner.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
-        let cpu_idx = inner.cpus.current_cpu().0;
-        let mut cpu = inner.cpu_states[cpu_idx].lock();
+        let (cpu_idx, mut cpu) = inner.lock_cpu();
+        let shard = inner.stats.shard(cpu_idx);
+        shard.frees.bump();
+        shard.live_delta.bump_sub();
         cpu.frees_since += 1;
         cpu.obj_cache.push(obj);
         if cpu.obj_cache.len() > inner.policy.object_cache_size {
-            inner.flush_obj_cache(&mut cpu);
+            inner.flush_obj_cache(cpu_idx, &mut cpu);
         }
     }
 

@@ -84,6 +84,13 @@ pub(crate) struct Node {
     /// without scanning every slab. May contain stale entries; consumers
     /// re-validate.
     pub(crate) pending: std::collections::VecDeque<usize>,
+    /// Grace-period stamp taken when the free list was first observed over
+    /// the shrink threshold, or `None` while it is within bounds. Shrink
+    /// hysteresis: excess free slabs are only released once this stamp's
+    /// grace period completes, so slabs emptied by a reclamation burst get
+    /// one grace period to be re-demanded before the page allocator sees
+    /// them.
+    pub(crate) shrink_excess_since: Option<GpState>,
 }
 
 impl Node {

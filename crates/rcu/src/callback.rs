@@ -237,7 +237,7 @@ pub(crate) fn reclaimer_loop(inner: &Inner, worker_idx: usize) {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let epoch = inner.epoch.load(Ordering::SeqCst);
+        let epoch = inner.epoch.load(Ordering::Acquire);
         let backlog = inner.backlog.load(Ordering::Relaxed);
         let mut limit = if backlog > inner.config.qhimark {
             inner.config.blimit_max

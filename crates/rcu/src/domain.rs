@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::callback::{reclaimer_loop, Callback, CallbackShard, RcuConfig};
@@ -18,7 +19,7 @@ use crate::stats::{RcuStats, StatsInner};
 pub(crate) struct Inner {
     pub(crate) id: u64,
     pub(crate) epoch: AtomicU64,
-    pub(crate) registry: Mutex<Vec<Arc<ThreadRecord>>>,
+    pub(crate) registry: Mutex<Vec<Arc<CachePadded<ThreadRecord>>>>,
     pub(crate) config: RcuConfig,
     pub(crate) shards: Vec<CallbackShard>,
     pub(crate) shard_cursor: AtomicUsize,
@@ -32,14 +33,22 @@ impl Inner {
     /// active, pinned reader has observed the current epoch. Returns the
     /// epoch observed after the attempt.
     pub(crate) fn try_advance(&self) -> u64 {
-        let global = self.epoch.load(Ordering::SeqCst);
+        let global = self.epoch.load(Ordering::Acquire);
+        // The read side pins with a plain Release store (no fence on the
+        // same-epoch fast path), so the advancer carries the ordering
+        // burden: a full fence, then an *RMW* read of every record.
+        // The RMW must return the latest value in each record's
+        // modification order, so a pin still draining from a reader's
+        // store buffer cannot be missed. Grace periods are orders of
+        // magnitude rarer than pins; this is the cheap side to tax.
+        fence(Ordering::SeqCst);
         {
             let registry = self.registry.lock();
             for rec in registry.iter() {
                 if !rec.is_active() {
                     continue;
                 }
-                if let Some(e) = rec.pinned_epoch() {
+                if let Some(e) = rec.observe_pinned_epoch() {
                     if e != global {
                         return global;
                     }
@@ -48,18 +57,18 @@ impl Inner {
         }
         if self
             .epoch
-            .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(global, global + 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
             self.stats.gp_advances.fetch_add(1, Ordering::Relaxed);
             global + 1
         } else {
-            self.epoch.load(Ordering::SeqCst)
+            self.epoch.load(Ordering::Acquire)
         }
     }
 
     pub(crate) fn poll(&self, state: GpState) -> bool {
-        if state.completed_at(self.epoch.load(Ordering::SeqCst)) {
+        if state.completed_at(self.epoch.load(Ordering::Acquire)) {
             return true;
         }
         let now = self.try_advance();
@@ -68,7 +77,7 @@ impl Inner {
 
     /// Blocks until a full grace period has elapsed from the moment of call.
     pub(crate) fn synchronize(&self) {
-        let state = GpState(self.epoch.load(Ordering::SeqCst));
+        let state = GpState(self.epoch.load(Ordering::Acquire));
         let mut spins = 0u32;
         while !self.poll(state) {
             spins += 1;
@@ -173,7 +182,11 @@ impl Rcu {
     /// The returned [`RcuThread`] must stay on this thread (it is `!Send`).
     /// Dropping it deregisters the thread.
     pub fn register(&self) -> RcuThread {
-        let record = Arc::new(ThreadRecord::new());
+        // Padded to a full cache line: records are tiny heap cells that
+        // would otherwise share lines, putting every reader's pin word on
+        // the same line as a stranger's and defeating the per-thread
+        // layout.
+        let record = Arc::new(CachePadded::new(ThreadRecord::new()));
         let mut registry = self.inner.registry.lock();
         registry.retain(|r| r.is_active());
         registry.push(Arc::clone(&record));
@@ -182,6 +195,9 @@ impl Rcu {
             inner: Arc::clone(&self.inner),
             record,
             nesting: Cell::new(0),
+            // Sentinel outside the valid epoch range: the first pin always
+            // takes the fenced path.
+            last_epoch: Cell::new(u64::MAX),
             _not_send: PhantomData,
         }
     }
@@ -189,7 +205,7 @@ impl Rcu {
     /// Captures the current grace-period state for stamping a deferred
     /// object (paper §4, the Prudence integration interface).
     pub fn gp_state(&self) -> GpState {
-        GpState(self.inner.epoch.load(Ordering::SeqCst))
+        GpState(self.inner.epoch.load(Ordering::Acquire))
     }
 
     /// Returns whether the grace period for `state` has completed,
@@ -200,7 +216,7 @@ impl Rcu {
 
     /// Current global epoch (diagnostics only).
     pub fn current_epoch(&self) -> u64 {
-        self.inner.epoch.load(Ordering::SeqCst)
+        self.inner.epoch.load(Ordering::Acquire)
     }
 
     /// A process-unique identifier for this domain. Data structures use it
@@ -227,7 +243,7 @@ impl Rcu {
     /// and throttled per [`RcuConfig`] — deliberately reproducing the
     /// extended object lifetimes and bursty freeing of the baseline system.
     pub fn call_rcu(&self, callback: Box<dyn FnOnce() + Send>) {
-        let stamp = self.inner.epoch.load(Ordering::SeqCst);
+        let stamp = self.inner.epoch.load(Ordering::Acquire);
         let idx = self.inner.shard_cursor.fetch_add(1, Ordering::Relaxed) % self.inner.shards.len();
         self.inner.shards[idx].push(Callback { stamp, callback });
         self.inner.backlog.fetch_add(1, Ordering::Relaxed);
@@ -313,8 +329,14 @@ impl Drop for Rcu {
 /// it pins is owned by the registering thread.
 pub struct RcuThread {
     inner: Arc<Inner>,
-    record: Arc<ThreadRecord>,
+    record: Arc<CachePadded<ThreadRecord>>,
     nesting: Cell<u32>,
+    /// Epoch observed at the last outermost pin. Re-pinning at the same
+    /// epoch skips the publication fence: the previous fenced pin at this
+    /// epoch already ordered this thread against everything the advancer
+    /// could reclaim under it, and the advancer's RMW scan still observes
+    /// the new pin word itself.
+    last_epoch: Cell<u64>,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -335,10 +357,17 @@ impl RcuThread {
     pub fn read_lock(&self) -> ReadGuard<'_> {
         let n = self.nesting.get();
         if n == 0 {
-            let epoch = self.inner.epoch.load(Ordering::SeqCst);
+            let epoch = self.inner.epoch.load(Ordering::Acquire);
             self.record.pin(epoch);
-            // Order the pin before any subsequent reads of shared data.
-            fence(Ordering::SeqCst);
+            if epoch != self.last_epoch.get() {
+                // First pin at a new epoch: publish the pin before any
+                // critical-section loads. Same-epoch re-pins skip this —
+                // the common case under a steady epoch is one plain store
+                // — relying on the advancer's fence + RMW scan (and the
+                // two-epoch grace margin) to observe late pins.
+                fence(Ordering::SeqCst);
+                self.last_epoch.set(epoch);
+            }
         }
         self.nesting.set(n + 1);
         ReadGuard { thread: self }
@@ -366,7 +395,7 @@ impl RcuThread {
 
     /// See [`Rcu::call_rcu`].
     pub fn call_rcu(&self, callback: Box<dyn FnOnce() + Send>) {
-        let stamp = self.inner.epoch.load(Ordering::SeqCst);
+        let stamp = self.inner.epoch.load(Ordering::Acquire);
         let idx = self.inner.shard_cursor.fetch_add(1, Ordering::Relaxed) % self.inner.shards.len();
         self.inner.shards[idx].push(Callback { stamp, callback });
         self.inner.backlog.fetch_add(1, Ordering::Relaxed);
@@ -376,7 +405,7 @@ impl RcuThread {
 
     /// See [`Rcu::gp_state`].
     pub fn gp_state(&self) -> GpState {
-        GpState(self.inner.epoch.load(Ordering::SeqCst))
+        GpState(self.inner.epoch.load(Ordering::Acquire))
     }
 
     /// See [`Rcu::poll`].
@@ -420,8 +449,8 @@ impl Drop for ReadGuard<'_> {
         let n = self.thread.nesting.get();
         debug_assert!(n > 0);
         if n == 1 {
-            // Order prior reads of shared data before the unpin.
-            fence(Ordering::SeqCst);
+            // The Release store inside unpin orders prior reads of shared
+            // data before the unpin; no fence needed on this side.
             self.thread.record.unpin();
         }
         self.thread.nesting.set(n - 1);
@@ -452,6 +481,61 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         assert!(!rcu.poll(state));
         drop(guard);
+        rcu.synchronize();
+        assert!(rcu.poll(state));
+    }
+
+    #[test]
+    fn epoch_never_advances_past_pinned_reader() {
+        // The relaxed read side (Release pin, fence only on epoch change,
+        // RMW scan on the advancer) must still uphold the advance rule:
+        // while a reader is pinned at epoch E the global epoch can reach at
+        // most E + 1 (one advance already in flight when the pin landed),
+        // and with GRACE_EPOCHS = 2 no grace period observed from inside
+        // the critical section may complete while it is still open.
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Churn threads hammer try_advance (via poll) so advances race
+        // every pin below; the driver thread adds its own cadence.
+        let churn: Vec<_> = (0..2)
+            .map(|_| {
+                let rcu = Arc::clone(&rcu);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = rcu.gp_state();
+                        let _ = rcu.poll(s);
+                    }
+                })
+            })
+            .collect();
+        let t = rcu.register();
+        for _ in 0..20_000 {
+            let guard = t.read_lock();
+            // The pin epoch is at most `seen` (epoch loads are monotone and
+            // `seen` is read after the pin), so global may never exceed
+            // seen + 1 while this guard lives.
+            let seen = rcu.current_epoch();
+            let state = t.gp_state();
+            for _ in 0..4 {
+                let now = rcu.current_epoch();
+                assert!(
+                    now <= seen + 1,
+                    "epoch advanced past pinned reader: pinned <= {seen}, now {now}"
+                );
+                assert!(
+                    !t.poll(state),
+                    "grace period completed inside a read-side critical section"
+                );
+            }
+            drop(guard);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for c in churn {
+            c.join().unwrap();
+        }
+        // Once unpinned, the same state completes normally.
+        let state = rcu.gp_state();
         rcu.synchronize();
         assert!(rcu.poll(state));
     }

@@ -85,19 +85,41 @@ impl ThreadRecord {
     }
 
     /// Marks the thread as inside a critical section at `epoch`.
+    ///
+    /// Deliberately *not* SeqCst: this store is the read-side fast path.
+    /// The caller ([`RcuThread::read_lock`]) issues a full fence only when
+    /// the observed epoch changed since the last pin; the grace-period
+    /// advancer compensates with [`observe_pinned_epoch`], an RMW that
+    /// cannot read a stale value (the asymmetric-barrier idiom of
+    /// userspace RCU: readers stay cheap, the rare advancer pays).
+    ///
+    /// [`RcuThread::read_lock`]: crate::RcuThread::read_lock
+    /// [`observe_pinned_epoch`]: Self::observe_pinned_epoch
     pub(crate) fn pin(&self, epoch: u64) {
         debug_assert_eq!(epoch & PINNED, 0, "epoch overflow");
-        self.state.store(PINNED | epoch, Ordering::SeqCst);
+        self.state.store(PINNED | epoch, Ordering::Release);
     }
 
-    /// Marks the thread as outside any critical section.
+    /// Marks the thread as outside any critical section. Release orders
+    /// every critical-section access before the unpin becomes visible,
+    /// which is the only direction unpin needs.
     pub(crate) fn unpin(&self) {
-        self.state.store(0, Ordering::SeqCst);
+        self.state.store(0, Ordering::Release);
     }
 
-    /// Returns `Some(epoch)` if the thread is pinned, `None` otherwise.
-    pub(crate) fn pinned_epoch(&self) -> Option<u64> {
-        let s = self.state.load(Ordering::SeqCst);
+    /// Returns `Some(epoch)` if the thread is pinned, `None` otherwise —
+    /// read via an atomic RMW: an RMW must return the *latest* value in
+    /// the word's modification order, so a pin store that a plain load
+    /// could still miss (e.g. sitting in the writer's store buffer) is
+    /// observed here. This is the advancer half of the asymmetric bargain
+    /// that lets [`pin`] stay a plain store.
+    ///
+    /// [`pin`]: Self::pin
+    pub(crate) fn observe_pinned_epoch(&self) -> Option<u64> {
+        Self::decode(self.state.fetch_add(0, Ordering::AcqRel))
+    }
+
+    fn decode(s: u64) -> Option<u64> {
         if s & PINNED != 0 {
             Some(s & EPOCH_MASK)
         } else {
@@ -109,12 +131,12 @@ impl ThreadRecord {
     ///
     /// [`RcuThread`]: crate::RcuThread
     pub(crate) fn is_active(&self) -> bool {
-        self.active.load(Ordering::SeqCst)
+        self.active.load(Ordering::Acquire)
     }
 
     /// Detaches the record from its thread (called on `RcuThread` drop).
     pub(crate) fn deactivate(&self) {
-        self.active.store(false, Ordering::SeqCst);
+        self.active.store(false, Ordering::Release);
     }
 }
 
@@ -141,11 +163,11 @@ mod tests {
     #[test]
     fn record_pin_unpin() {
         let r = ThreadRecord::new();
-        assert_eq!(r.pinned_epoch(), None);
+        assert_eq!(r.observe_pinned_epoch(), None);
         r.pin(7);
-        assert_eq!(r.pinned_epoch(), Some(7));
+        assert_eq!(r.observe_pinned_epoch(), Some(7));
         r.unpin();
-        assert_eq!(r.pinned_epoch(), None);
+        assert_eq!(r.observe_pinned_epoch(), None);
     }
 
     #[test]
@@ -161,6 +183,6 @@ mod tests {
         let r = ThreadRecord::new();
         let e = EPOCH_MASK - 1;
         r.pin(e);
-        assert_eq!(r.pinned_epoch(), Some(e));
+        assert_eq!(r.observe_pinned_epoch(), Some(e));
     }
 }

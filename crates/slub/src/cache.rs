@@ -1,8 +1,8 @@
 //! The baseline slab cache.
 
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 
+use crossbeam::utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 
 use pbs_alloc_api::slab_layout::resolve_slab_index;
@@ -29,6 +29,10 @@ impl Node {
     }
 }
 
+/// Spin budget on a busy home slot before trying neighbours; matches the
+/// Prudence cache's fast-path policy so the comparison stays fair.
+const SLOT_SPIN: usize = 24;
+
 /// A SLUB-style slab cache for fixed-size objects.
 ///
 /// See the [crate-level documentation](crate) for the role this type plays
@@ -39,7 +43,9 @@ pub struct SlubCache {
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
     cpus: CpuRegistry,
-    cpu_caches: Vec<Mutex<Vec<ObjPtr>>>,
+    /// Per-CPU object caches, cache-padded so neighbouring slots (and
+    /// their lock words) never share a line.
+    cpu_caches: Vec<CachePadded<Mutex<Vec<ObjPtr>>>>,
     node: Mutex<Node>,
     stats: CacheStats,
     weak_self: Weak<SlubCache>,
@@ -77,9 +83,11 @@ impl SlubCache {
             pages,
             rcu,
             cpus: CpuRegistry::new(ncpus),
-            cpu_caches: (0..ncpus).map(|_| Mutex::new(Vec::new())).collect(),
+            cpu_caches: (0..ncpus)
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
             node: Mutex::new(Node::default()),
-            stats: CacheStats::new(),
+            stats: CacheStats::new(ncpus),
             weak_self: weak_self.clone(),
         })
     }
@@ -91,18 +99,47 @@ impl SlubCache {
 
     /// Locks the node list, counting contention for the statistics.
     fn lock_node(&self) -> MutexGuard<'_, Node> {
-        match self.node.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.stats.node_lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.node.lock()
+        if let Some(guard) = self.node.try_lock() {
+            return guard;
+        }
+        // Acquire first, count after: recording between the failed
+        // try_lock and the blocking acquire would let a relock race
+        // double-count one contention event, and the counter bump below is
+        // single-writer precisely because the node lock is already held.
+        let guard = self.node.lock();
+        self.stats.shard(0).node_lock_contended.bump();
+        guard
+    }
+
+    /// Acquires a per-CPU slot for the hot paths: try the home slot, spin
+    /// briefly on contention, steal any other free slot, then block.
+    /// Returns the index actually locked so callers attribute stats to
+    /// the right shard.
+    fn lock_cpu(&self) -> (usize, MutexGuard<'_, Vec<ObjPtr>>) {
+        let home = self.cpus.current_cpu().0;
+        if let Some(guard) = self.cpu_caches[home].try_lock() {
+            return (home, guard);
+        }
+        self.stats.shard(home).cpu_slot_misses.add_contended(1);
+        for _ in 0..SLOT_SPIN {
+            std::hint::spin_loop();
+            if let Some(guard) = self.cpu_caches[home].try_lock() {
+                return (home, guard);
             }
         }
+        let n = self.cpu_caches.len();
+        for offset in 1..n {
+            let idx = (home + offset) % n;
+            if let Some(guard) = self.cpu_caches[idx].try_lock() {
+                return (idx, guard);
+            }
+        }
+        (home, self.cpu_caches[home].lock())
     }
 
     /// Refills a CPU object cache from node slabs, growing if needed.
-    fn refill(&self, cache: &mut Vec<ObjPtr>) -> Result<(), AllocError> {
-        self.stats.refills.fetch_add(1, Ordering::Relaxed);
+    fn refill(&self, cpu_idx: usize, cache: &mut Vec<ObjPtr>) -> Result<(), AllocError> {
+        self.stats.shard(cpu_idx).refills.bump();
         let want = self.policy.object_cache_size;
         let mut node = self.lock_node();
         let mut remaining = want;
@@ -155,8 +192,8 @@ impl SlubCache {
 
     /// Flushes the overflowing half of a CPU cache back to slabs, then
     /// shrinks if too many slabs became free.
-    fn flush(&self, cache: &mut Vec<ObjPtr>) {
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+    fn flush(&self, cpu_idx: usize, cache: &mut Vec<ObjPtr>) {
+        self.stats.shard(cpu_idx).flushes.bump();
         let keep = self.policy.object_cache_size / 2;
         let excess: Vec<ObjPtr> = cache.drain(..cache.len().saturating_sub(keep)).collect();
         let mut node = self.lock_node();
@@ -194,42 +231,52 @@ impl SlubCache {
     }
 
     /// Returns an object to this allocator (common tail of immediate frees
-    /// and RCU callbacks).
-    fn release(&self, obj: ObjPtr) {
-        let cpu = self.cpus.current_cpu().0;
-        let mut cache = self.cpu_caches[cpu].lock();
+    /// and RCU callbacks). `count_free` bumps the free counters under the
+    /// slot lock (immediate frees); the deferred path already counted at
+    /// defer time.
+    fn release(&self, obj: ObjPtr, count_free: bool) {
+        let (cpu_idx, mut cache) = self.lock_cpu();
+        if count_free {
+            let shard = self.stats.shard(cpu_idx);
+            shard.frees.bump();
+            shard.live_delta.bump_sub();
+        }
         cache.push(obj);
         if cache.len() > self.policy.object_cache_size {
-            self.flush(&mut cache);
+            self.flush(cpu_idx, &mut cache);
         }
     }
 }
 
 impl ObjectAllocator for SlubCache {
     fn allocate(&self) -> Result<ObjPtr, AllocError> {
-        self.stats.alloc_requests.fetch_add(1, Ordering::Relaxed);
-        let cpu = self.cpus.current_cpu().0;
-        let mut cache = self.cpu_caches[cpu].lock();
+        let (cpu_idx, mut cache) = self.lock_cpu();
+        // Shard bumps are single-writer: this thread holds the matching
+        // slot lock.
+        let shard = self.stats.shard(cpu_idx);
+        shard.alloc_requests.bump();
         if let Some(obj) = cache.pop() {
-            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+            shard.cache_hits.bump();
+            shard.live_delta.bump_add();
             return Ok(obj);
         }
-        self.refill(&mut cache)?;
+        self.refill(cpu_idx, &mut cache)?;
         let obj = cache.pop().expect("refill produced at least one object");
-        self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+        shard.live_delta.bump_add();
         Ok(obj)
     }
 
     unsafe fn free(&self, obj: ObjPtr) {
-        self.stats.frees.fetch_add(1, Ordering::Relaxed);
-        self.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
-        self.release(obj);
+        self.release(obj, true);
     }
 
     unsafe fn free_deferred(&self, obj: ObjPtr) {
-        self.stats.deferred_frees.fetch_add(1, Ordering::Relaxed);
-        self.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
+        // No slot lock is held at defer time, so these use the contended
+        // (atomic RMW) variants; the deferred path pays a `call_rcu` box
+        // allocation anyway.
+        let shard = self.stats.shard(self.cpus.current_cpu().0);
+        shard.deferred_frees.add_contended(1);
+        shard.live_delta.add_contended(-1);
         // The baseline behaviour under test: the allocator registers an RCU
         // callback and the object stays invisible to it until background
         // reclaim runs the callback. The callback holds only a weak
@@ -240,7 +287,7 @@ impl ObjectAllocator for SlubCache {
         let weak = self.weak_self.clone();
         self.rcu.call_rcu(Box::new(move || {
             if let Some(cache) = weak.upgrade() {
-                cache.release(obj);
+                cache.release(obj, false);
             }
         }));
     }

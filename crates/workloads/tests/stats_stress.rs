@@ -1,0 +1,81 @@
+//! Multi-threaded stress over both allocators asserting the sharded
+//! statistics stay consistent: shards are bumped with plain stores under
+//! per-slot locks, so this is the test that the single-writer discipline
+//! actually holds (a racing writer would lose increments and break the
+//! accounting identities below).
+
+use std::sync::Arc;
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::{AllocatorKind, Testbed};
+
+#[test]
+fn sharded_stats_consistent_after_stress() {
+    for kind in AllocatorKind::BOTH {
+        let threads = 4;
+        let bed = Testbed::new(kind, threads, RcuConfig::eager(), None);
+        let cache = bed.create_cache("stress", 96);
+        let held_back = 25usize;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..4_000 {
+                        held.push(cache.allocate().expect("stress allocation"));
+                        // Mix immediate frees, deferred frees, and holding,
+                        // skewed differently per thread so slots disagree.
+                        match (i + t) % 3 {
+                            0 if held.len() > held_back => {
+                                let o = held.swap_remove(0);
+                                unsafe { cache.free(o) };
+                            }
+                            1 if held.len() > held_back => {
+                                let o = held.swap_remove(0);
+                                unsafe { cache.free_deferred(o) };
+                            }
+                            _ => {}
+                        }
+                        if held.len() > 128 {
+                            for o in held.drain(held_back..) {
+                                unsafe { cache.free_deferred(o) };
+                            }
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        let mut survivors = Vec::new();
+        for w in workers {
+            survivors.extend(w.join().expect("stress worker panicked"));
+        }
+        cache.quiesce();
+
+        // With `survivors.len()` objects still held, the live count must be
+        // exactly allocs − frees — lost shard updates would show up here.
+        let s = cache.stats();
+        assert_eq!(
+            s.alloc_requests,
+            s.frees + s.deferred_frees + survivors.len() as u64,
+            "{kind}: alloc/free identity broken: {s:?}"
+        );
+        assert_eq!(
+            s.live_objects,
+            survivors.len() as u64,
+            "{kind}: live count wrong: {s:?}"
+        );
+        assert!(
+            s.cache_hits + s.latent_hits <= s.alloc_requests,
+            "{kind}: more hits than requests: {s:?}"
+        );
+
+        for o in survivors {
+            unsafe { cache.free(o) };
+        }
+        cache.quiesce();
+        let s = cache.stats();
+        assert_eq!(s.alloc_requests, s.frees + s.deferred_frees, "{kind}: {s:?}");
+        assert_eq!(s.live_objects, 0, "{kind}: {s:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Vendored shim for the `criterion` API surface this workspace uses:
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_custom}`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros. See `third_party/README.md` for why
+//! dependencies are vendored.
+//!
+//! The statistics are intentionally simple — warm-up, timed sample
+//! batches, then median/min/max per iteration — because this workspace
+//! treats criterion output as human-readable guidance; the committed
+//! perf numbers come from the dedicated `perf_json` harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts CLI configuration for API parity; the shim has none.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("single", f);
+        group.finish();
+        self
+    }
+}
+
+/// A parameterized benchmark label, printed as `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and its input parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Work performed per iteration, reported alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the untimed warm-up duration.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", id.function, id.parameter);
+        self.run(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (output is printed as benchmarks run).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // is long enough to time reliably.
+        let per_sample = self
+            .measurement_time
+            .div_f64(self.sample_size as f64)
+            .max(Duration::from_micros(200));
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= per_sample || bencher.iters >= 1 << 24 {
+                break;
+            }
+            let grow = if bencher.elapsed < per_sample / 8 { 8 } else { 2 };
+            bencher.iters = (bencher.iters * grow).min(1 << 24);
+        }
+        let iters = bencher.iters;
+
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+        }
+
+        // Timed samples.
+        bencher.mode = Mode::Measure;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{label:<28} time: [{min:>10.1} ns {median:>10.1} ns {max:>10.1} ns]{throughput}",
+            self.name
+        );
+    }
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, running it many times per sample.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        let _ = &self.mode;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets `body` time `iters` iterations itself and report the total.
+    pub fn iter_custom(&mut self, mut body: impl FnMut(u64) -> Duration) {
+        self.elapsed = body(self.iters);
+    }
+}
+
+/// Best-effort optimization barrier (std's hint on stable).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark-group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("spin", |b| b.iter(|| count = count.wrapping_add(1)));
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_custom_reports_given_duration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(1));
+        group.warm_up_time(Duration::ZERO);
+        group.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,144 @@
+//! Vendored, dependency-free `#[derive(Serialize, Deserialize)]` for the
+//! serde shim (see `third_party/README.md`). Without `syn`/`quote`
+//! available, this walks the raw `TokenStream` directly. It supports what
+//! the workspace uses: non-generic structs with named fields. Anything
+//! else (enums, tuple structs, generics) is rejected with a compile error.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// A struct's name and field identifiers, extracted from its token stream.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    let mut body = None;
+
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes (`#[...]`) and doc comments.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                }
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err("generic structs are not supported".into());
+                    }
+                    _ => return Err("only structs with named fields are supported".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err("enums are not supported".into());
+            }
+            _ => {}
+        }
+    }
+
+    let (name, body) = match (name, body) {
+        (Some(n), Some(b)) => (n, b),
+        _ => return Err("expected a struct with named fields".into()),
+    };
+
+    // Field names are the identifiers directly before a lone `:` at the top
+    // level of the body (angle-bracket depth 0 keeps generic arguments out;
+    // `::` path separators are joint-spaced and skipped).
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_ident = None;
+    let mut body_tokens = body.into_iter().peekable();
+    while let Some(token) = body_tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                body_tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ':' && p.spacing() == Spacing::Alone && angle_depth == 0 =>
+            {
+                if let Some(ident) = prev_ident.take() {
+                    fields.push(ident);
+                }
+            }
+            TokenTree::Punct(p)
+                if p.as_char() == ':' && p.spacing() == Spacing::Joint =>
+            {
+                // First half of `::`; consume the second so it is not
+                // mistaken for a field separator.
+                body_tokens.next();
+            }
+            TokenTree::Ident(ident) => prev_ident = Some(ident.to_string()),
+            _ => {}
+        }
+    }
+
+    if fields.is_empty() {
+        return Err(format!("struct {name} has no named fields"));
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: serde::map_field(entries, {f:?})?,"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {} {{\n\
+             fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {{\n\
+                 let entries = serde::expect_map(content)?;\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
