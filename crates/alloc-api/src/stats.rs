@@ -13,9 +13,13 @@
 //! the shards locklessly and may observe a bump late — fine for
 //! reporting, which only runs after quiescence.
 //!
-//! Events recorded *outside* any slot lock (node-lock contention,
-//! slot-lock misses) use [`Counter::add_contended`], a real `fetch_add`,
-//! because they can race; they are off the hot path by definition.
+//! The single-writer lock need not be a *slot* lock: node-path counters
+//! (`node_lock_contended`, `pre_movements`) are bumped only under the
+//! node lock and attributed to shard 0. Events recorded outside any lock
+//! (slot-lock misses) use [`Counter::add_contended`], a real `fetch_add`,
+//! because they can race; they are off the hot path by definition. Never
+//! mix the two schemes on one counter — an RMW landing between a lock
+//! holder's load and store is silently overwritten.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
@@ -58,6 +62,11 @@ impl Counter {
 /// A signed per-shard tally (live-object delta: allocations minus frees
 /// attributed to this shard; individual shards can go negative when an
 /// object is allocated on one CPU and freed on another).
+///
+/// Deliberately has no contended (RMW) variant: every update races with
+/// the slot-lock holders' plain load+store bumps, so *all* writers must
+/// hold the owning slot's lock — a fetch_add from outside it can land
+/// between a holder's load and store and be silently overwritten.
 #[derive(Debug, Default)]
 pub struct SignedCounter(AtomicI64);
 
@@ -74,13 +83,6 @@ impl SignedCounter {
     pub fn bump_sub(&self) {
         self.0
             .store(self.0.load(Ordering::Relaxed).wrapping_sub(1), Ordering::Relaxed);
-    }
-
-    /// Atomic add for writers that do *not* hold the owning slot's lock;
-    /// the signed counterpart of [`Counter::add_contended`].
-    #[inline]
-    pub fn add_contended(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -116,8 +118,11 @@ pub struct StatShard {
     pub preflushes: Counter,
     /// Slab pre-movements between full/partial/free lists (Prudence, §4.2).
     pub pre_movements: Counter,
-    /// Times the node-list lock was contended (try_lock failed). Recorded
-    /// outside slot locks: use [`Counter::add_contended`].
+    /// Times the node-list lock was contended (try_lock failed).
+    /// Single-writer under the *node* lock — bumped (plain [`Counter::bump`])
+    /// only by the thread that just acquired it, and always attributed to
+    /// shard 0. Never bump this without holding the node lock: it would
+    /// race the existing non-atomic bumps.
     pub node_lock_contended: Counter,
     /// Times the home CPU slot's try_lock failed and the allocation took
     /// the slow path (spin, neighbor slot, or blocking acquire). Recorded

@@ -87,14 +87,14 @@ impl ThreadRecord {
     /// Marks the thread as inside a critical section at `epoch`.
     ///
     /// Deliberately *not* SeqCst: this store is the read-side fast path.
-    /// The caller ([`RcuThread::read_lock`]) issues a full fence only when
-    /// the observed epoch changed since the last pin; the grace-period
-    /// advancer compensates with [`observe_pinned_epoch`], an RMW that
-    /// cannot read a stale value (the asymmetric-barrier idiom of
-    /// userspace RCU: readers stay cheap, the rare advancer pays).
+    /// The required StoreLoad ordering against the critical-section loads
+    /// that follow comes from the caller ([`RcuThread::read_lock`]): a
+    /// compiler fence when the grace-period advancer issues a
+    /// process-wide `membarrier` before trusting its scan, or a full
+    /// `SeqCst` fence otherwise (see the `membarrier` module for why both
+    /// pairings are sound and nothing weaker is).
     ///
     /// [`RcuThread::read_lock`]: crate::RcuThread::read_lock
-    /// [`observe_pinned_epoch`]: Self::observe_pinned_epoch
     pub(crate) fn pin(&self, epoch: u64) {
         debug_assert_eq!(epoch & PINNED, 0, "epoch overflow");
         self.state.store(PINNED | epoch, Ordering::Release);
@@ -109,14 +109,23 @@ impl ThreadRecord {
 
     /// Returns `Some(epoch)` if the thread is pinned, `None` otherwise —
     /// read via an atomic RMW: an RMW must return the *latest* value in
-    /// the word's modification order, so a pin store that a plain load
-    /// could still miss (e.g. sitting in the writer's store buffer) is
-    /// observed here. This is the advancer half of the asymmetric bargain
-    /// that lets [`pin`] stay a plain store.
-    ///
-    /// [`pin`]: Self::pin
+    /// the word's modification order. The RMW alone does **not** make the
+    /// advancer's scan trustworthy (a pin can be buffered behind the
+    /// reader's reordered critical-section loads); the caller must first
+    /// establish the barrier pairing described in the `membarrier`
+    /// module, after which the RMW is belt-and-braces against stale
+    /// plain-load replies.
     pub(crate) fn observe_pinned_epoch(&self) -> Option<u64> {
         Self::decode(self.state.fetch_add(0, Ordering::AcqRel))
+    }
+
+    /// Advisory pinned-epoch read (plain `Relaxed` load, may be stale).
+    /// Only good for *refusing* an epoch advance early — never for
+    /// deciding one; see [`observe_pinned_epoch`].
+    ///
+    /// [`observe_pinned_epoch`]: Self::observe_pinned_epoch
+    pub(crate) fn peek_pinned_epoch(&self) -> Option<u64> {
+        Self::decode(self.state.load(Ordering::Relaxed))
     }
 
     fn decode(s: u64) -> Option<u64> {

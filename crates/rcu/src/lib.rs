@@ -51,6 +51,7 @@
 mod callback;
 mod domain;
 mod epoch;
+mod membarrier;
 mod stats;
 
 pub use callback::RcuConfig;

@@ -271,12 +271,18 @@ impl ObjectAllocator for SlubCache {
     }
 
     unsafe fn free_deferred(&self, obj: ObjPtr) {
-        // No slot lock is held at defer time, so these use the contended
-        // (atomic RMW) variants; the deferred path pays a `call_rcu` box
-        // allocation anyway.
-        let shard = self.stats.shard(self.cpus.current_cpu().0);
-        shard.deferred_frees.add_contended(1);
-        shard.live_delta.add_contended(-1);
+        // Bump under the slot lock (matching the Prudence cache):
+        // `live_delta` is a single-writer counter also updated by the
+        // locked alloc/free paths with plain load+store pairs, so a
+        // lock-free fetch_add here could land between a holder's load and
+        // store and be silently overwritten. The lock is dropped before
+        // the `call_rcu` box allocation below.
+        {
+            let (cpu_idx, _cache) = self.lock_cpu();
+            let shard = self.stats.shard(cpu_idx);
+            shard.deferred_frees.bump();
+            shard.live_delta.bump_sub();
+        }
         // The baseline behaviour under test: the allocator registers an RCU
         // callback and the object stays invisible to it until background
         // reclaim runs the callback. The callback holds only a weak
