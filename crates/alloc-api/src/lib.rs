@@ -24,6 +24,7 @@ mod sizing;
 pub mod slab_layout;
 mod slab_lists;
 mod stats;
+mod telemetry;
 mod traits;
 
 pub use cpu::{CpuId, CpuRegistry};
@@ -33,4 +34,5 @@ pub use sizing::SizingPolicy;
 pub use slab_layout::RawSlab;
 pub use slab_lists::{ListKind, SlabLists};
 pub use stats::{CacheStats, CacheStatsSnapshot};
+pub use telemetry::{CacheTelemetry, TelemetrySnapshot};
 pub use traits::{AllocError, ObjPtr, ObjectAllocator};

@@ -21,10 +21,21 @@
 //! mix the two schemes on one counter — an RMW landing between a lock
 //! holder's load and store is silently overwritten.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam::utils::CachePadded;
+use pbs_telemetry::{ComponentTelemetry, EventKind, EventRing, LogHistogram, NamedHistogram};
 use serde::{Deserialize, Serialize};
+
+/// Process-wide cache id allocator, so trace events from different caches
+/// stay distinguishable in a merged timeline (`src` field of each record).
+static NEXT_CACHE_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Records per trace lane. Cache hot paths emit at most a handful of event
+/// kinds per operation, and the interesting windows (OOM deferral, slab
+/// churn storms) are short; 256 records per lane keeps the footprint at a
+/// few KiB per CPU slot while surviving typical bursts.
+const CACHE_LANE_CAPACITY: usize = 256;
 
 /// A single event counter inside a [`StatShard`].
 #[derive(Debug, Default)]
@@ -139,8 +150,25 @@ pub struct StatShard {
 /// [`CacheStatsSnapshot`] at the end of a run.
 #[derive(Debug)]
 pub struct CacheStats {
+    /// Process-unique id for this cache, stamped into every trace event's
+    /// `src` field.
+    id: u32,
     /// One shard per CPU slot.
     shards: Box<[CachePadded<StatShard>]>,
+    /// Event ring with one lane per CPU slot plus a final lane reserved
+    /// for node-path events (see [`CacheStats::node_lane`]). The lane
+    /// assignment reuses the single-writer discipline that protects the
+    /// shards: slot lanes are written only under the owning slot lock,
+    /// the node lane only under the node lock, so lane writes never race.
+    pub ring: EventRing,
+    /// Time spent waiting for a per-CPU slot lock when the home slot's
+    /// `try_lock` missed (nanoseconds). Only slow paths record here.
+    pub slot_wait_ns: LogHistogram,
+    /// `free_deferred` → object-reusable delay (nanoseconds): how long a
+    /// deferred object sat in the latent cache before a merge made it
+    /// allocatable again (the Prudence counterpart of the baseline's
+    /// callback delay).
+    pub defer_delay_ns: LogHistogram,
     /// Slab-cache grow operations (slabs allocated from the page
     /// allocator). Cold: a grow amortizes over a whole slab of objects.
     pub grows: AtomicU64,
@@ -165,16 +193,44 @@ impl CacheStats {
     /// Creates zeroed statistics with one shard per CPU slot (at least
     /// one).
     pub fn new(nshards: usize) -> Self {
+        let nshards = nshards.max(1);
         Self {
-            shards: (0..nshards.max(1))
+            id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            shards: (0..nshards)
                 .map(|_| CachePadded::new(StatShard::default()))
                 .collect(),
+            // One lane per CPU slot plus the node lane.
+            ring: EventRing::new(nshards + 1, CACHE_LANE_CAPACITY),
+            slot_wait_ns: LogHistogram::default(),
+            defer_delay_ns: LogHistogram::default(),
             grows: AtomicU64::new(0),
             shrinks: AtomicU64::new(0),
             oom_waits: AtomicU64::new(0),
             slabs_current: AtomicUsize::new(0),
             slabs_peak: AtomicUsize::new(0),
         }
+    }
+
+    /// Process-unique id for this cache (stamped into trace events).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Index of the trace lane reserved for events recorded under the
+    /// node lock (grow/shrink/pre-movement). Per-CPU hot-path events use
+    /// the slot index as the lane.
+    #[inline]
+    pub fn node_lane(&self) -> usize {
+        self.ring.lanes() - 1
+    }
+
+    /// Records a trace event on the node lane. Callers must hold the node
+    /// lock (or otherwise be the only writer of that lane), matching the
+    /// single-writer ring discipline.
+    #[inline]
+    pub fn record_node_event(&self, kind: EventKind, a: u64, b: u64) {
+        self.ring.record(self.node_lane(), kind, self.id, a, b);
     }
 
     /// The shard for CPU slot `cpu` (wrapped into range, like CPU-slot
@@ -189,27 +245,42 @@ impl CacheStats {
     }
 
     /// Records that a slab was allocated, maintaining the peak watermark.
+    ///
+    /// The peak is folded in with `fetch_max`: `slabs_peak` only ever
+    /// increases and ends up at least `slabs_current`'s value as observed
+    /// here. A concurrent grow publishing a larger peak makes this call's
+    /// contribution moot, and `fetch_max` stops right there instead of
+    /// retrying a CAS it can no longer win.
     pub fn record_grow(&self) {
         self.grows.fetch_add(1, Ordering::Relaxed);
         let now = self.slabs_current.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut peak = self.slabs_peak.load(Ordering::Relaxed);
-        while now > peak {
-            match self.slabs_peak.compare_exchange_weak(
-                peak,
-                now,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(observed) => peak = observed,
-            }
-        }
+        self.slabs_peak.fetch_max(now, Ordering::Relaxed);
+        self.record_node_event(EventKind::SlabGrow, now as u64, 0);
     }
 
     /// Records that a slab was returned to the page allocator.
     pub fn record_shrink(&self) {
         self.shrinks.fetch_add(1, Ordering::Relaxed);
-        self.slabs_current.fetch_sub(1, Ordering::Relaxed);
+        let before = self.slabs_current.fetch_sub(1, Ordering::Relaxed);
+        self.record_node_event(EventKind::SlabShrink, before.saturating_sub(1) as u64, 0);
+    }
+
+    /// Telemetry view of this cache: slot-wait and defer-delay histograms
+    /// plus the event-ring snapshot.
+    pub fn telemetry(&self) -> ComponentTelemetry {
+        ComponentTelemetry::new(
+            self.ring.snapshot(),
+            vec![
+                NamedHistogram {
+                    name: "slot_wait_ns".to_string(),
+                    hist: self.slot_wait_ns.snapshot(),
+                },
+                NamedHistogram {
+                    name: "defer_delay_ns".to_string(),
+                    hist: self.defer_delay_ns.snapshot(),
+                },
+            ],
+        )
     }
 
     /// Takes a consistent-enough snapshot for reporting, summing all
@@ -490,6 +561,42 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.alloc_requests, 10);
         assert!((a.hit_percent() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_ids_are_unique() {
+        let a = CacheStats::new(1);
+        let b = CacheStats::new(1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn grow_shrink_emit_node_lane_events() {
+        let s = CacheStats::new(2);
+        s.record_grow();
+        s.record_grow();
+        s.record_shrink();
+        assert_eq!(s.node_lane(), 2); // one lane per slot + the node lane
+        let t = s.telemetry();
+        assert_eq!(t.count_of(pbs_telemetry::EventKind::SlabGrow), 2);
+        assert_eq!(t.count_of(pbs_telemetry::EventKind::SlabShrink), 1);
+        // Every event is stamped with this cache's id and the node lane.
+        for e in &t.events {
+            assert_eq!(e.src, s.id());
+            assert_eq!(e.lane as usize, s.node_lane());
+        }
+    }
+
+    #[test]
+    fn telemetry_exposes_named_histograms() {
+        let s = CacheStats::new(1);
+        s.slot_wait_ns.record(100);
+        s.defer_delay_ns.record(5);
+        s.defer_delay_ns.record(9);
+        let t = s.telemetry();
+        assert_eq!(t.histogram("slot_wait_ns").unwrap().count, 1);
+        assert_eq!(t.histogram("defer_delay_ns").unwrap().count, 2);
+        assert!(t.histogram("no_such_histogram").is_none());
     }
 
     #[test]

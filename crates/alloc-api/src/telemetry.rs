@@ -1,0 +1,179 @@
+//! Unified telemetry exposition: one serializable snapshot combining the
+//! RCU domain's stats, its grace-period event trace, and every cache's
+//! counters, histograms and events.
+//!
+//! The snapshot is pure data (serde-serializable, no atomics), so
+//! exporters — Prometheus text, chrome://tracing JSON — live downstream in
+//! `pbs-workloads` and render it without touching live allocator state.
+
+use pbs_rcu::RcuStats;
+use pbs_telemetry::ComponentTelemetry;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::CacheStatsSnapshot;
+use crate::traits::ObjectAllocator;
+
+/// Telemetry for a single slab cache: its counter snapshot plus latency
+/// histograms and trace events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheTelemetry {
+    /// Cache name as reported by [`ObjectAllocator::name`].
+    pub name: String,
+    /// Counter snapshot (Figures 7–11 inputs).
+    pub stats: CacheStatsSnapshot,
+    /// Histograms (`slot_wait_ns`, `defer_delay_ns`) and trace events.
+    pub telemetry: ComponentTelemetry,
+}
+
+impl CacheTelemetry {
+    /// Captures a cache's telemetry through the [`ObjectAllocator`] trait.
+    pub fn capture(alloc: &dyn ObjectAllocator) -> Self {
+        Self {
+            name: alloc.name().to_string(),
+            stats: alloc.stats(),
+            telemetry: alloc.telemetry(),
+        }
+    }
+}
+
+/// A full telemetry capture: the RCU domain plus any number of caches.
+///
+/// Snapshots from different runs (or different caches of the same run)
+/// can be folded together with [`TelemetrySnapshot::merge`]; exporters
+/// consume the merged result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// RCU domain counters (grace periods, callbacks, barrier paths).
+    pub rcu: RcuStats,
+    /// RCU histograms (`gp_latency_ns`, `callback_delay_ns`) and
+    /// grace-period trace events.
+    pub rcu_telemetry: ComponentTelemetry,
+    /// Per-cache telemetry, one entry per captured cache.
+    pub caches: Vec<CacheTelemetry>,
+}
+
+impl TelemetrySnapshot {
+    /// Builds a snapshot from the RCU domain's views, with no caches yet.
+    pub fn new(rcu: RcuStats, rcu_telemetry: ComponentTelemetry) -> Self {
+        Self {
+            rcu,
+            rcu_telemetry,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Captures and appends one cache.
+    pub fn push_cache(&mut self, alloc: &dyn ObjectAllocator) {
+        self.caches.push(CacheTelemetry::capture(alloc));
+    }
+
+    /// Folds another snapshot into this one. RCU counters add field-wise
+    /// (two captures of the *same* domain should not be merged — that
+    /// would double-count); caches merge by name, unknown names append.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.rcu.gp_advances += other.rcu.gp_advances;
+        self.rcu.synchronize_calls += other.rcu.synchronize_calls;
+        self.rcu.membarrier_advances += other.rcu.membarrier_advances;
+        self.rcu.fallback_fence_advances += other.rcu.fallback_fence_advances;
+        self.rcu.callbacks_enqueued += other.rcu.callbacks_enqueued;
+        self.rcu.callbacks_processed += other.rcu.callbacks_processed;
+        self.rcu.callback_backlog += other.rcu.callback_backlog;
+        self.rcu.max_callback_backlog = self
+            .rcu
+            .max_callback_backlog
+            .max(other.rcu.max_callback_backlog);
+        self.rcu_telemetry.merge(&other.rcu_telemetry);
+        for cache in &other.caches {
+            match self.caches.iter_mut().find(|c| c.name == cache.name) {
+                Some(mine) => {
+                    mine.stats.merge(&cache.stats);
+                    mine.telemetry.merge(&cache.telemetry);
+                }
+                None => self.caches.push(cache.clone()),
+            }
+        }
+    }
+
+    /// Total trace events surfaced across the RCU domain and all caches.
+    pub fn total_events(&self) -> usize {
+        self.rcu_telemetry.events.len()
+            + self.caches.iter().map(|c| c.telemetry.events.len()).sum::<usize>()
+    }
+
+    /// Looks up a cache's telemetry by name.
+    pub fn cache(&self, name: &str) -> Option<&CacheTelemetry> {
+        self.caches.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(
+            RcuStats {
+                gp_advances: 4,
+                membarrier_advances: 4,
+                synchronize_calls: 2,
+                ..Default::default()
+            },
+            ComponentTelemetry::default(),
+        );
+        snap.caches.push(CacheTelemetry {
+            name: "kmalloc-64".to_string(),
+            stats: CacheStatsSnapshot {
+                alloc_requests: 10,
+                cache_hits: 9,
+                ..Default::default()
+            },
+            telemetry: ComponentTelemetry::default(),
+        });
+        snap
+    }
+
+    #[test]
+    fn merge_by_cache_name() {
+        let mut a = sample();
+        let mut b = sample();
+        b.caches[0].stats.alloc_requests = 5;
+        b.caches.push(CacheTelemetry {
+            name: "filp".to_string(),
+            ..Default::default()
+        });
+        a.merge(&b);
+        assert_eq!(a.rcu.gp_advances, 8);
+        assert_eq!(a.rcu.synchronize_calls, 4);
+        assert_eq!(a.caches.len(), 2);
+        assert_eq!(a.cache("kmalloc-64").unwrap().stats.alloc_requests, 15);
+        assert!(a.cache("filp").is_some());
+        assert!(a.cache("dentry").is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rcu, snap.rcu);
+        assert_eq!(back.caches.len(), 1);
+        assert_eq!(back.caches[0].name, "kmalloc-64");
+        assert_eq!(back.caches[0].stats, snap.caches[0].stats);
+    }
+
+    #[test]
+    fn total_events_sums_components() {
+        let mut snap = sample();
+        assert_eq!(snap.total_events(), 0);
+        snap.rcu_telemetry.events.push(pbs_telemetry::EventSnapshot {
+            seq: 0,
+            t_ns: 1,
+            kind: 0,
+            lane: 0,
+            src: 0,
+            a: 0,
+            b: 0,
+        });
+        assert_eq!(snap.total_events(), 1);
+    }
+}

@@ -140,6 +140,14 @@ pub trait ObjectAllocator: Send + Sync {
     /// Snapshot of the cache statistics (Figures 7–11 inputs).
     fn stats(&self) -> CacheStatsSnapshot;
 
+    /// Telemetry view of the cache: latency histograms and the event-ring
+    /// snapshot. The default is empty so simple test allocators need not
+    /// carry a ring; real allocators forward their
+    /// [`CacheStats::telemetry`](crate::CacheStats::telemetry).
+    fn telemetry(&self) -> pbs_telemetry::ComponentTelemetry {
+        pbs_telemetry::ComponentTelemetry::default()
+    }
+
     /// Blocks until all deferred frees issued so far have been reclaimed
     /// and are reusable. Used at the end of benchmark runs so peak/
     /// fragmentation measurements compare like with like.

@@ -1,0 +1,160 @@
+//! trace_overhead — the tracing-cost guard.
+//!
+//! Measures the alloc/free pair loop with event tracing enabled versus
+//! disabled and reports the regression, in the two regimes that matter:
+//!
+//! * **hit path** (`allocate` + `free`): tracing's cost here is the
+//!   single relaxed load of the global flag — the budget is ≤3% at
+//!   4 threads.
+//! * **deferred path** (`allocate` + `free_deferred`): tracing also
+//!   stamps defer clocks and writes ring records, so this regime bounds
+//!   the full instrumentation cost.
+//!
+//! Runs are interleaved off/on/off/on… and summarized by median, so
+//! machine drift hits both modes equally.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_overhead [--threads 4] [--secs 0.5] [--reps 5] [--out PATH]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::{AllocatorKind, Testbed};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut threads = 4usize;
+    let mut secs = 0.5f64;
+    let mut reps = 5usize;
+    let mut out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = parse(args.next(), "--threads"),
+            "--secs" => secs = parse(args.next(), "--secs"),
+            "--reps" => reps = parse(args.next(), "--reps"),
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    let duration = Duration::from_secs_f64(secs);
+
+    println!(
+        "trace overhead guard: {threads} threads, {reps}x{secs}s per mode, prudence 512 B"
+    );
+    let mut report = Vec::new();
+    for (regime, deferred) in [("hit", false), ("deferred", true)] {
+        let (off, on) = measure_modes(threads, duration, reps, deferred);
+        let delta_pct = (on - off) / off * 100.0;
+        println!(
+            "  {regime:<9} tracing off {off:>8.1} ns/pair   on {on:>8.1} ns/pair   delta {delta_pct:+.2}%"
+        );
+        report.push((regime, off, on, delta_pct));
+    }
+
+    if let Some(path) = out {
+        let mut json = String::from("{\n");
+        for (i, (regime, off, on, delta)) in report.iter().enumerate() {
+            json.push_str(&format!(
+                "  \"{regime}\": {{\"off_ns_per_pair\": {off:.2}, \"on_ns_per_pair\": {on:.2}, \"delta_pct\": {delta:.3}}}{}\n",
+                if i + 1 < report.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write report");
+        println!("wrote {path}");
+    }
+
+    // Leave the flag where the library default puts it.
+    pbs_telemetry::set_enabled(true);
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<String>, flag: &str) -> T {
+    arg.and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a valid value"))
+}
+
+/// Runs `reps` interleaved off/on measurements and returns the median
+/// ns/pair of each mode.
+fn measure_modes(
+    threads: usize,
+    duration: Duration,
+    reps: usize,
+    deferred: bool,
+) -> (f64, f64) {
+    // Warm up both modes once so neither pays first-touch costs.
+    for on in [false, true] {
+        pbs_telemetry::set_enabled(on);
+        measure_pair_loop(threads, duration / 4, deferred);
+    }
+    let mut off = Vec::new();
+    let mut on = Vec::new();
+    for _ in 0..reps {
+        pbs_telemetry::set_enabled(false);
+        off.push(measure_pair_loop(threads, duration, deferred));
+        pbs_telemetry::set_enabled(true);
+        on.push(measure_pair_loop(threads, duration, deferred));
+    }
+    (median(off), median(on))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// One measurement: `threads` workers doing alloc/free pairs on a shared
+/// Prudence cache for `duration`; returns mean ns per pair per thread.
+fn measure_pair_loop(threads: usize, duration: Duration, deferred: bool) -> f64 {
+    let bed = Testbed::new(AllocatorKind::Prudence, threads, RcuConfig::linux_like(), None);
+    let cache = bed.create_cache("overhead", 512);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch the stop check off the measured path.
+                    for _ in 0..64 {
+                        let obj = cache.allocate().expect("overhead allocation");
+                        // SAFETY: fresh exclusive object, freed exactly once.
+                        unsafe {
+                            obj.as_ptr().cast::<u64>().write(0xBEEF);
+                            if deferred {
+                                cache.free_deferred(obj);
+                            } else {
+                                cache.free(obj);
+                            }
+                        }
+                    }
+                    ops += 64;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("overhead worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    cache.quiesce();
+    let pairs = total.load(Ordering::Relaxed) as f64;
+    threads as f64 * elapsed * 1e9 / pairs.max(1.0)
+}

@@ -14,10 +14,11 @@ use pbs_alloc_api::{
     RawSlab, SizingPolicy,
 };
 use pbs_mem::PageAllocator;
-use pbs_rcu::{GpState, Rcu};
+use pbs_rcu::Rcu;
+use pbs_telemetry::EventKind;
 
 use crate::config::PrudenceConfig;
-use crate::cpu_state::CpuState;
+use crate::cpu_state::{CpuState, LatentEntry};
 use crate::node::{Node, PrudentSlab};
 use crate::preflush::preflush_worker;
 
@@ -181,6 +182,24 @@ impl Inner {
             return (home, guard);
         }
         self.stats.shard(home).cpu_slot_misses.add_contended(1);
+        // Time the slow path only: the fast path above stays clock-free.
+        let t0 = if pbs_telemetry::enabled() {
+            pbs_telemetry::now_nanos()
+        } else {
+            0
+        };
+        let acquired = self.lock_cpu_slow(home);
+        if t0 != 0 {
+            self.stats
+                .slot_wait_ns
+                .record(pbs_telemetry::now_nanos().saturating_sub(t0));
+        }
+        acquired
+    }
+
+    /// Contended continuation of [`lock_cpu`](Self::lock_cpu): spin on the
+    /// home slot, steal any free neighbour, then block on home.
+    fn lock_cpu_slow(&self, home: usize) -> (usize, MutexGuard<'_, CpuState>) {
         for _ in 0..SLOT_SPIN {
             std::hint::spin_loop();
             if let Some(guard) = self.cpu_states[home].try_lock() {
@@ -203,10 +222,43 @@ impl Inner {
         }
     }
 
-    /// MERGE_CACHES wrapper that maintains the outstanding-deferred count.
-    fn merge_caches(&self, cpu: &mut CpuState) -> usize {
-        let merged = cpu.merge_caches(self.rcu.current_epoch(), self.policy.object_cache_size);
+    /// MERGE_CACHES wrapper that maintains the outstanding-deferred count,
+    /// records the defer→reusable delay of each merged object, and traces
+    /// the merge. `cpu_idx` is the slot whose lock the caller holds — it
+    /// picks the stats shard's trace lane (single-writer under that lock).
+    /// `now_hint` forwards a clock value the caller already read (0 =
+    /// none), so tracing costs at most one clock read per operation.
+    fn merge_caches(&self, cpu_idx: usize, cpu: &mut CpuState, now_hint: u64) -> usize {
+        let now = if now_hint != 0 {
+            now_hint
+        } else if pbs_telemetry::enabled() {
+            pbs_telemetry::now_nanos()
+        } else {
+            0
+        };
+        let merged = cpu.merge_caches(
+            self.rcu.current_epoch(),
+            self.policy.object_cache_size,
+            |queued_ns| {
+                if now != 0 && queued_ns != 0 {
+                    self.stats
+                        .defer_delay_ns
+                        .record(now.saturating_sub(queued_ns));
+                }
+            },
+        );
         self.note_reclaimed(merged);
+        if merged > 0 {
+            // Reuse the clock read from the delay samples above.
+            self.stats.ring.record_at(
+                cpu_idx,
+                now,
+                EventKind::LatentMerge,
+                self.stats.id(),
+                merged as u64,
+                cpu.latent.len() as u64,
+            );
+        }
         merged
     }
 
@@ -231,7 +283,7 @@ impl Inner {
             }
             // Lines 7-11: merge grace-period-complete latent objects and
             // retry before touching the node lists.
-            if self.merge_caches(&mut cpu) > 0 {
+            if self.merge_caches(cpu_idx, &mut cpu, 0) > 0 {
                 if let Some(obj) = cpu.obj_cache.pop() {
                     shard.latent_hits.bump();
                     shard.live_delta.bump_add();
@@ -442,13 +494,15 @@ impl Inner {
     }
 
     /// Moves deferred objects into their latent slabs, with slab
-    /// pre-movement (Algorithm lines 49-59).
-    fn defer_to_slabs(&self, objs: &[(ObjPtr, GpState)]) {
+    /// pre-movement (Algorithm lines 49-59). Entries' defer-time clocks
+    /// are dropped here: latent-slab objects rejoin circulation through
+    /// whole-slab reclamation, which has no single defer to attribute.
+    fn defer_to_slabs(&self, objs: &[LatentEntry]) {
         if objs.is_empty() {
             return;
         }
         let mut node = self.lock_node();
-        for &(obj, gp) in objs {
+        for &(obj, gp, _) in objs {
             // SAFETY: deferred objects come from this cache; node lock held.
             let index = unsafe { node.resolve(obj, self.policy.slab_bytes) };
             let slab = node.slab_mut(index);
@@ -459,8 +513,11 @@ impl Inner {
                 node.pending.push_back(index);
             }
             if node.relist(index) {
-                // Single-writer: the node lock is held on every path here.
+                // Single-writer: the node lock is held on every path here
+                // (and it also owns the node trace lane).
                 self.stats.shard(0).pre_movements.bump();
+                self.stats
+                    .record_node_event(EventKind::SlabPremove, index as u64, gp.raw_epoch());
             }
         }
         self.shrink(&mut node);
@@ -552,7 +609,7 @@ impl Inner {
         // Single-writer: only the pre-flush worker bumps this, and only
         // while holding the matching slot lock.
         self.stats.shard(cpu_idx).preflushes.bump();
-        self.merge_caches(&mut cpu);
+        self.merge_caches(cpu_idx, &mut cpu, 0);
         let size = self.policy.object_cache_size;
         if cpu.total_cached() <= size {
             return;
@@ -565,7 +622,14 @@ impl Inner {
         cpu.frees_since = 0;
         cpu.defers_since = 0;
         let n = excess.min(cpu.latent.len());
-        let moved: Vec<(ObjPtr, GpState)> = cpu.latent.drain(..n).collect();
+        let moved: Vec<LatentEntry> = cpu.latent.drain(..n).collect();
+        self.stats.ring.record(
+            cpu_idx,
+            EventKind::LatentPreflush,
+            self.stats.id(),
+            moved.len() as u64,
+            cpu.latent.len() as u64,
+        );
         self.defer_to_slabs(&moved);
     }
 
@@ -576,16 +640,20 @@ impl Inner {
         self.rcu.synchronize();
         // Push all per-CPU latent objects to their slabs so the sweep below
         // can free whole slabs.
-        for state in &self.cpu_states {
+        for (cpu_idx, state) in self.cpu_states.iter().enumerate() {
             let mut cpu = state.lock();
-            self.merge_caches(&mut cpu);
-            let moved: Vec<(ObjPtr, GpState)> = cpu.latent.drain(..).collect();
+            self.merge_caches(cpu_idx, &mut cpu, 0);
+            let moved: Vec<LatentEntry> = cpu.latent.drain(..).collect();
             drop(cpu);
             self.defer_to_slabs(&moved);
         }
         let epoch = self.rcu.current_epoch();
         let mut node = self.lock_node();
-        self.note_reclaimed(node.reclaim_pending(epoch));
+        let reclaimed = node.reclaim_pending(epoch);
+        self.note_reclaimed(reclaimed);
+        // Node lock held: the node lane is ours to write.
+        self.stats
+            .record_node_event(EventKind::OomDefer, reclaimed as u64, epoch);
         self.shrink(&mut node);
     }
 
@@ -593,20 +661,38 @@ impl Inner {
     fn free_deferred_inner(&self, obj: ObjPtr) {
         self.deferred_outstanding.fetch_add(1, Ordering::Relaxed);
         let gp = self.rcu.gp_state(); // line 35
+        // 0 = tracing disabled: merge skips the delay sample (same
+        // convention as the baseline's callback stamp).
+        let queued_ns = if pbs_telemetry::enabled() {
+            pbs_telemetry::now_nanos()
+        } else {
+            0
+        };
         let (cpu_idx, mut cpu) = self.lock_cpu();
         let shard = self.stats.shard(cpu_idx);
         shard.deferred_frees.bump();
         shard.live_delta.bump_sub();
         cpu.defers_since += 1;
+        // Slot lock held: lane `cpu_idx` is ours to write. Disabled
+        // tracing turns this into one Relaxed load and a branch. The
+        // record reuses the defer stamp's clock read.
+        self.stats.ring.record_at(
+            cpu_idx,
+            queued_ns,
+            EventKind::LatentStamp,
+            self.stats.id(),
+            gp.raw_epoch(),
+            cpu.latent.len() as u64,
+        );
         if !self.config.latent_cache {
             drop(cpu);
-            self.defer_to_slabs(&[(obj, gp)]);
+            self.defer_to_slabs(&[(obj, gp, queued_ns)]);
             return;
         }
         let threshold = self.policy.object_cache_size;
         if cpu.latent.len() < threshold {
             // Fast path (lines 39-44).
-            cpu.latent.push_back((obj, gp));
+            cpu.latent.push_back((obj, gp, queued_ns));
             if cpu.total_cached() > self.policy.object_cache_size {
                 self.schedule_preflush(cpu_idx, &mut cpu);
             }
@@ -621,13 +707,13 @@ impl Inner {
         let mergeable = cpu
             .latent
             .front()
-            .is_some_and(|&(_, gp)| gp.is_completed_at(self.rcu.current_epoch()));
+            .is_some_and(|&(_, gp, _)| gp.is_completed_at(self.rcu.current_epoch()));
         if mergeable {
             self.flush_obj_cache(cpu_idx, &mut cpu);
-            self.merge_caches(&mut cpu);
+            self.merge_caches(cpu_idx, &mut cpu, queued_ns);
         }
         if cpu.latent.len() < threshold {
-            cpu.latent.push_back((obj, gp));
+            cpu.latent.push_back((obj, gp, queued_ns));
         } else {
             // Move the older half of the latent cache to its latent slabs
             // in one node-lock acquisition, then admit the new object.
@@ -637,8 +723,15 @@ impl Inner {
             let n = (threshold / 2 + 1).min(threshold);
             // Draining from the front keeps stamps non-decreasing, the
             // order latent slabs rely on.
-            let moved: Vec<(ObjPtr, GpState)> = cpu.latent.drain(..n).collect();
-            cpu.latent.push_back((obj, gp));
+            let moved: Vec<LatentEntry> = cpu.latent.drain(..n).collect();
+            cpu.latent.push_back((obj, gp, queued_ns));
+            self.stats.ring.record(
+                cpu_idx,
+                EventKind::LatentFlush,
+                self.stats.id(),
+                moved.len() as u64,
+                cpu.latent.len() as u64,
+            );
             drop(cpu);
             self.defer_to_slabs(&moved);
         }
@@ -650,10 +743,10 @@ impl Inner {
                 return;
             }
             self.rcu.synchronize();
-            for state in &self.cpu_states {
+            for (cpu_idx, state) in self.cpu_states.iter().enumerate() {
                 let mut cpu = state.lock();
-                self.merge_caches(&mut cpu);
-                let moved: Vec<(ObjPtr, GpState)> = cpu.latent.drain(..).collect();
+                self.merge_caches(cpu_idx, &mut cpu, 0);
+                let moved: Vec<LatentEntry> = cpu.latent.drain(..).collect();
                 drop(cpu);
                 self.defer_to_slabs(&moved);
             }
@@ -707,6 +800,10 @@ impl ObjectAllocator for PrudenceCache {
         self.inner
             .stats
             .snapshot(self.inner.policy.object_size, self.inner.policy.slab_bytes)
+    }
+
+    fn telemetry(&self) -> pbs_telemetry::ComponentTelemetry {
+        self.inner.stats.telemetry()
     }
 
     fn quiesce(&self) {
@@ -981,6 +1078,41 @@ mod tests {
         }
         assert!(c.stats().preflushes > 0, "preflush never ran");
         drop(guard);
+        c.quiesce();
+    }
+
+    #[test]
+    fn telemetry_traces_latent_lifecycle() {
+        let (c, _p, rcu) = cache(64);
+        let a = c.allocate().unwrap();
+        unsafe { c.free_deferred(a) };
+        rcu.synchronize();
+        // Drain until the latent merge returns `a`.
+        let mut held = Vec::new();
+        for _ in 0..2 * c.policy().object_cache_size {
+            held.push(c.allocate().unwrap());
+        }
+        let t = c.telemetry();
+        assert!(
+            t.count_of(pbs_telemetry::EventKind::LatentStamp) >= 1,
+            "missing stamp event: {:?}",
+            t.event_counts
+        );
+        assert!(
+            t.count_of(pbs_telemetry::EventKind::LatentMerge) >= 1,
+            "missing merge event: {:?}",
+            t.event_counts
+        );
+        assert!(
+            t.count_of(pbs_telemetry::EventKind::SlabGrow) >= 1,
+            "missing grow event: {:?}",
+            t.event_counts
+        );
+        let delay = t.histogram("defer_delay_ns").expect("defer_delay_ns");
+        assert!(delay.count >= 1, "defer delay not recorded: {delay:?}");
+        for o in held {
+            unsafe { c.free(o) };
+        }
         c.quiesce();
     }
 

@@ -5,6 +5,11 @@ use std::collections::VecDeque;
 use pbs_alloc_api::ObjPtr;
 use pbs_rcu::GpState;
 
+/// One latent-cache entry: the deferred object, the grace-period state at
+/// defer time, and the defer-time wall clock (0 when tracing was disabled
+/// at defer time — the telemetry convention for "untimed").
+pub(crate) type LatentEntry = (ObjPtr, GpState, u64);
+
 /// One CPU slot's caches (paper Figure 4, left side).
 ///
 /// * `obj_cache` — free objects ready to serve allocations.
@@ -17,7 +22,7 @@ use pbs_rcu::GpState;
 #[derive(Debug, Default)]
 pub(crate) struct CpuState {
     pub(crate) obj_cache: Vec<ObjPtr>,
-    pub(crate) latent: VecDeque<(ObjPtr, GpState)>,
+    pub(crate) latent: VecDeque<LatentEntry>,
     pub(crate) allocs_since: u64,
     pub(crate) frees_since: u64,
     pub(crate) defers_since: u64,
@@ -28,14 +33,22 @@ impl CpuState {
     /// Moves latent objects whose grace period has completed into the
     /// object cache, up to `capacity` (Algorithm 1, MERGE_CACHES,
     /// lines 60-65). Stamps are non-decreasing front-to-back, so a failed
-    /// front check ends the merge. Returns the number merged.
-    pub(crate) fn merge_caches(&mut self, epoch: u64, capacity: usize) -> usize {
+    /// front check ends the merge. Returns the number merged; `on_merge`
+    /// receives each merged entry's defer-time clock so the caller can
+    /// record the defer→reusable delay.
+    pub(crate) fn merge_caches(
+        &mut self,
+        epoch: u64,
+        capacity: usize,
+        mut on_merge: impl FnMut(u64),
+    ) -> usize {
         let mut merged = 0;
         while self.obj_cache.len() < capacity {
             match self.latent.front() {
-                Some(&(_, gp)) if gp.is_completed_at(epoch) => {
-                    let (obj, _) = self.latent.pop_front().expect("front exists");
+                Some(&(_, gp, _)) if gp.is_completed_at(epoch) => {
+                    let (obj, _, queued_ns) = self.latent.pop_front().expect("front exists");
                     self.obj_cache.push(obj);
+                    on_merge(queued_ns);
                     merged += 1;
                 }
                 _ => break,
@@ -77,11 +90,15 @@ mod tests {
     fn merge_respects_grace_period() {
         let mut cpu = CpuState::default();
         let early = gp(0);
-        cpu.latent.push_back((obj(0x1000), early));
-        cpu.latent.push_back((obj(0x2000), early));
+        cpu.latent.push_back((obj(0x1000), early, 0));
+        cpu.latent.push_back((obj(0x2000), early, 0));
         let raw = early.raw_epoch();
-        assert_eq!(cpu.merge_caches(raw + 1, 10), 0, "grace period incomplete");
-        assert_eq!(cpu.merge_caches(raw + 2, 10), 2);
+        assert_eq!(
+            cpu.merge_caches(raw + 1, 10, |_| {}),
+            0,
+            "grace period incomplete"
+        );
+        assert_eq!(cpu.merge_caches(raw + 2, 10, |_| {}), 2);
         assert_eq!(cpu.obj_cache.len(), 2);
         assert!(cpu.latent.is_empty());
     }
@@ -91,9 +108,9 @@ mod tests {
         let mut cpu = CpuState::default();
         let early = gp(0);
         for i in 0..5 {
-            cpu.latent.push_back((obj(0x1000 + i * 8), early));
+            cpu.latent.push_back((obj(0x1000 + i * 8), early, 0));
         }
-        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 3), 3);
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 3, |_| {}), 3);
         assert_eq!(cpu.obj_cache.len(), 3);
         assert_eq!(cpu.latent.len(), 2);
     }
@@ -103,18 +120,29 @@ mod tests {
         let mut cpu = CpuState::default();
         let early = gp(0);
         let later = gp(early.raw_epoch() + 4);
-        cpu.latent.push_back((obj(0x1000), later)); // newer stamp in front
-        cpu.latent.push_back((obj(0x2000), early));
+        cpu.latent.push_back((obj(0x1000), later, 0)); // newer stamp in front
+        cpu.latent.push_back((obj(0x2000), early, 0));
         // Front not complete at early+2 even though the one behind is;
         // merge is conservative and stops.
-        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 10), 0);
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 10, |_| {}), 0);
+    }
+
+    #[test]
+    fn merge_reports_defer_stamps() {
+        let mut cpu = CpuState::default();
+        let early = gp(0);
+        cpu.latent.push_back((obj(0x1000), early, 7));
+        cpu.latent.push_back((obj(0x2000), early, 0)); // untimed entry
+        let mut stamps = Vec::new();
+        cpu.merge_caches(early.raw_epoch() + 2, 10, |ns| stamps.push(ns));
+        assert_eq!(stamps, vec![7, 0]);
     }
 
     #[test]
     fn total_cached_counts_both() {
         let mut cpu = CpuState::default();
         cpu.obj_cache.push(obj(0x10));
-        cpu.latent.push_back((obj(0x20), gp(0)));
+        cpu.latent.push_back((obj(0x20), gp(0), 0));
         assert_eq!(cpu.total_cached(), 2);
     }
 }

@@ -109,6 +109,11 @@ impl PrudenceHeap {
         self.caches.iter().map(|c| c.stats()).collect()
     }
 
+    /// Telemetry (histograms + trace events) for every size class.
+    pub fn telemetry(&self) -> Vec<pbs_telemetry::ComponentTelemetry> {
+        self.caches.iter().map(|c| c.telemetry()).collect()
+    }
+
     /// Waits until every deferred object in every class is reclaimed.
     pub fn quiesce(&self) {
         for c in &self.caches {

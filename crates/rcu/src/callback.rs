@@ -21,6 +21,9 @@ use crate::epoch::GRACE_EPOCHS;
 /// A deferred callback stamped with the epoch at which it was queued.
 pub(crate) struct Callback {
     pub(crate) stamp: u64,
+    /// Telemetry enqueue timestamp (`now_nanos`); 0 when tracing was
+    /// disabled at enqueue, in which case no delay is recorded.
+    pub(crate) queued_ns: u64,
     pub(crate) callback: Box<dyn FnOnce() + Send>,
 }
 
@@ -259,7 +262,15 @@ pub(crate) fn reclaimer_loop(inner: &Inner, worker_idx: usize) {
                 break;
             }
             let ready = shard.pop_ready(epoch, limit - processed);
+            if ready.is_empty() {
+                continue;
+            }
+            // One timestamp per batch: the enqueue→run delay distribution
+            // (§3.2 extended lifetimes) does not need per-callback clock
+            // reads.
+            let now_ns = pbs_telemetry::now_nanos();
             for cb in ready {
+                inner.stats.record_callback_delay(cb.queued_ns, now_ns);
                 (cb.callback)();
                 processed += 1;
             }
@@ -283,10 +294,12 @@ mod tests {
         let shard = CallbackShard::new();
         shard.push(Callback {
             stamp: 0,
+            queued_ns: 0,
             callback: Box::new(|| {}),
         });
         shard.push(Callback {
             stamp: 5,
+            queued_ns: 0,
             callback: Box::new(|| {}),
         });
         assert_eq!(shard.pop_ready(1, 10).len(), 0);
@@ -302,6 +315,7 @@ mod tests {
         for _ in 0..10 {
             shard.push(Callback {
                 stamp: 0,
+                queued_ns: 0,
                 callback: Box::new(|| {}),
             });
         }

@@ -9,11 +9,22 @@ use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
+use pbs_telemetry::{ComponentTelemetry, EventKind, EventRing, NamedHistogram};
 
 use crate::callback::{reclaimer_loop, Callback, CallbackShard, RcuConfig};
 use crate::epoch::{GpState, ThreadRecord};
 use crate::membarrier;
 use crate::stats::{RcuStats, StatsInner};
+
+/// Lanes in the domain trace ring. Grace-period events are emitted by
+/// whichever thread wins the epoch CAS or calls `synchronize`, so lanes are
+/// assigned per thread (collisions tear records, which the ring's checksum
+/// discards) rather than per CPU slot.
+const TRACE_LANES: usize = 8;
+
+/// Records per domain trace lane (grace-period events are rare; this keeps
+/// minutes of history for typical driver intervals).
+const TRACE_LANE_CAPACITY: usize = 512;
 
 /// Shared state of an RCU domain; `Rcu` and every `RcuThread` hold an `Arc`
 /// to it so registration can outlive the `Rcu` front object if needed.
@@ -27,6 +38,7 @@ pub(crate) struct Inner {
     pub(crate) backlog: AtomicUsize,
     pub(crate) shutdown: AtomicBool,
     pub(crate) stats: StatsInner,
+    pub(crate) ring: EventRing,
 }
 
 impl Inner {
@@ -78,6 +90,20 @@ impl Inner {
             .is_ok()
         {
             self.stats.gp_advances.fetch_add(1, Ordering::Relaxed);
+            // Which barrier protocol justified this advance (decided once
+            // per process, but counted per advance so the runtime path is
+            // observable from the stats snapshot).
+            if membarrier::readers_elide_fence() {
+                self.stats.membarrier_advances.fetch_add(1, Ordering::Relaxed);
+                self.ring
+                    .record_thread(EventKind::GpAdvanceMembarrier, 0, global + 1, 0);
+            } else {
+                self.stats
+                    .fallback_fence_advances
+                    .fetch_add(1, Ordering::Relaxed);
+                self.ring
+                    .record_thread(EventKind::GpAdvanceFence, 0, global + 1, 0);
+            }
             global + 1
         } else {
             self.epoch.load(Ordering::Acquire)
@@ -95,6 +121,15 @@ impl Inner {
     /// Blocks until a full grace period has elapsed from the moment of call.
     pub(crate) fn synchronize(&self) {
         let state = GpState(self.epoch.load(Ordering::Acquire));
+        // Timing/tracing sits entirely behind the enabled gate; the
+        // disabled cost of a synchronize is one Relaxed load + branch.
+        let begin_ns = if pbs_telemetry::enabled() {
+            self.ring
+                .record_thread(EventKind::GpBegin, 0, state.raw_epoch(), 0);
+            Some(pbs_telemetry::now_nanos())
+        } else {
+            None
+        };
         let mut spins = 0u32;
         while !self.poll(state) {
             spins += 1;
@@ -105,6 +140,35 @@ impl Inner {
             }
         }
         self.stats.synchronize_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(begin) = begin_ns {
+            let waited = pbs_telemetry::now_nanos().saturating_sub(begin);
+            self.stats.gp_latency.record(waited);
+            self.ring.record_thread(
+                EventKind::GpComplete,
+                0,
+                waited,
+                self.epoch.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// Shared `call_rcu` body for `Rcu` and `RcuThread`.
+    pub(crate) fn enqueue_callback(&self, callback: Box<dyn FnOnce() + Send>) {
+        let stamp = self.epoch.load(Ordering::Acquire);
+        let queued_ns = if pbs_telemetry::enabled() {
+            pbs_telemetry::now_nanos()
+        } else {
+            0 // sentinel: delay not measurable for this callback
+        };
+        let idx = self.shard_cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[idx].push(Callback {
+            stamp,
+            queued_ns,
+            callback,
+        });
+        self.backlog.fetch_add(1, Ordering::Relaxed);
+        let backlog = self.backlog.load(Ordering::Relaxed);
+        self.stats.record_enqueue(backlog);
     }
 }
 
@@ -158,6 +222,7 @@ impl Rcu {
             backlog: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             stats: StatsInner::default(),
+            ring: EventRing::new(TRACE_LANES, TRACE_LANE_CAPACITY),
         });
         let mut workers = Vec::new();
         // Grace-period driver: periodically attempts epoch advance so grace
@@ -257,12 +322,7 @@ impl Rcu {
     /// and throttled per [`RcuConfig`] — deliberately reproducing the
     /// extended object lifetimes and bursty freeing of the baseline system.
     pub fn call_rcu(&self, callback: Box<dyn FnOnce() + Send>) {
-        let stamp = self.inner.epoch.load(Ordering::Acquire);
-        let idx = self.inner.shard_cursor.fetch_add(1, Ordering::Relaxed) % self.inner.shards.len();
-        self.inner.shards[idx].push(Callback { stamp, callback });
-        self.inner.backlog.fetch_add(1, Ordering::Relaxed);
-        let backlog = self.inner.backlog.load(Ordering::Relaxed);
-        self.inner.stats.record_enqueue(backlog);
+        self.inner.enqueue_callback(callback);
     }
 
     /// Number of callbacks queued and not yet run.
@@ -288,6 +348,25 @@ impl Rcu {
     /// Snapshot of domain statistics.
     pub fn stats(&self) -> RcuStats {
         self.inner.stats.snapshot(self.callback_backlog())
+    }
+
+    /// Grace-period trace events and latency histograms for this domain:
+    /// `gp_latency_ns` (blocking `synchronize` wait) and
+    /// `callback_delay_ns` (`call_rcu` enqueue → execution).
+    pub fn telemetry(&self) -> ComponentTelemetry {
+        ComponentTelemetry::new(
+            self.inner.ring.snapshot(),
+            vec![
+                NamedHistogram {
+                    name: "gp_latency_ns".to_owned(),
+                    hist: self.inner.stats.gp_latency.snapshot(),
+                },
+                NamedHistogram {
+                    name: "callback_delay_ns".to_owned(),
+                    hist: self.inner.stats.callback_delay.snapshot(),
+                },
+            ],
+        )
     }
 
     /// The configuration this domain runs with.
@@ -321,7 +400,9 @@ impl Drop for Rcu {
             let mut progressed = false;
             for shard in &self.inner.shards {
                 let ready = shard.pop_ready(epoch, usize::MAX);
+                let now_ns = pbs_telemetry::now_nanos();
                 for cb in ready {
+                    self.inner.stats.record_callback_delay(cb.queued_ns, now_ns);
                     (cb.callback)();
                     self.inner.backlog.fetch_sub(1, Ordering::Relaxed);
                     self.inner.stats.record_processed(1);
@@ -409,12 +490,7 @@ impl RcuThread {
 
     /// See [`Rcu::call_rcu`].
     pub fn call_rcu(&self, callback: Box<dyn FnOnce() + Send>) {
-        let stamp = self.inner.epoch.load(Ordering::Acquire);
-        let idx = self.inner.shard_cursor.fetch_add(1, Ordering::Relaxed) % self.inner.shards.len();
-        self.inner.shards[idx].push(Callback { stamp, callback });
-        self.inner.backlog.fetch_add(1, Ordering::Relaxed);
-        let backlog = self.inner.backlog.load(Ordering::Relaxed);
-        self.inner.stats.record_enqueue(backlog);
+        self.inner.enqueue_callback(callback);
     }
 
     /// See [`Rcu::gp_state`].

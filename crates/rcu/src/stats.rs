@@ -2,35 +2,55 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use pbs_telemetry::LogHistogram;
+use serde::{Deserialize, Serialize};
+
 /// Internal atomic counters.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
     pub(crate) gp_advances: AtomicU64,
     pub(crate) synchronize_calls: AtomicU64,
+    /// Epoch advances decided under the membarrier-elided read protocol
+    /// (readers skipped their publication fence; the advancer issued the
+    /// process-wide barrier).
+    pub(crate) membarrier_advances: AtomicU64,
+    /// Epoch advances decided on the portable path (readers fence
+    /// themselves; `heavy_barrier` is a no-op).
+    pub(crate) fallback_fence_advances: AtomicU64,
     enqueued: AtomicU64,
     processed: AtomicU64,
     max_backlog: AtomicUsize,
+    /// Wall-clock duration of blocking `synchronize` calls — the paper's
+    /// grace-period latency distribution.
+    pub(crate) gp_latency: LogHistogram,
+    /// `call_rcu` enqueue → callback execution delay: how long the
+    /// baseline's deferred objects stay dead-but-unreusable (§3.2).
+    pub(crate) callback_delay: LogHistogram,
 }
 
 impl StatsInner {
+    /// Counts an enqueue and folds `backlog_now` into the high-water mark.
+    ///
+    /// Monotonicity contract: `max_backlog` only ever increases, and after
+    /// this call it is at least `backlog_now`. `fetch_max` gives up as soon
+    /// as another thread has already published a larger maximum — the
+    /// hand-rolled CAS loop this replaces kept retrying in that situation
+    /// even though it had nothing left to contribute.
     pub(crate) fn record_enqueue(&self, backlog_now: usize) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
-        let mut max = self.max_backlog.load(Ordering::Relaxed);
-        while backlog_now > max {
-            match self.max_backlog.compare_exchange_weak(
-                max,
-                backlog_now,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(observed) => max = observed,
-            }
-        }
+        self.max_backlog.fetch_max(backlog_now, Ordering::Relaxed);
     }
 
     pub(crate) fn record_processed(&self, n: u64) {
         self.processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one `call_rcu` enqueue→run delay, given the enqueue
+    /// timestamp (0 = tracing was disabled at enqueue; skip).
+    pub(crate) fn record_callback_delay(&self, queued_ns: u64, now_ns: u64) {
+        if queued_ns != 0 {
+            self.callback_delay.record(now_ns.saturating_sub(queued_ns));
+        }
     }
 
     pub(crate) fn callbacks_enqueued(&self) -> u64 {
@@ -45,6 +65,8 @@ impl StatsInner {
         RcuStats {
             gp_advances: self.gp_advances.load(Ordering::Relaxed),
             synchronize_calls: self.synchronize_calls.load(Ordering::Relaxed),
+            membarrier_advances: self.membarrier_advances.load(Ordering::Relaxed),
+            fallback_fence_advances: self.fallback_fence_advances.load(Ordering::Relaxed),
             callbacks_enqueued: self.enqueued.load(Ordering::Relaxed),
             callbacks_processed: self.processed.load(Ordering::Relaxed),
             callback_backlog: backlog,
@@ -65,13 +87,24 @@ impl StatsInner {
 /// let stats = rcu.stats();
 /// assert!(stats.gp_advances >= 2);
 /// assert_eq!(stats.callback_backlog, 0);
+/// // Every advance went through exactly one of the two barrier paths.
+/// assert_eq!(
+///     stats.gp_advances,
+///     stats.membarrier_advances + stats.fallback_fence_advances
+/// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RcuStats {
     /// Number of epoch advances (two advances = one grace period).
     pub gp_advances: u64,
     /// Number of blocking `synchronize` calls completed.
     pub synchronize_calls: u64,
+    /// Advances decided with readers on the fence-elided path (the
+    /// advancer's `membarrier` carried the StoreLoad ordering).
+    pub membarrier_advances: u64,
+    /// Advances decided on the portable fallback path (readers issue their
+    /// own publication fence).
+    pub fallback_fence_advances: u64,
     /// Callbacks ever queued with `call_rcu`.
     pub callbacks_enqueued: u64,
     /// Callbacks that have run.
@@ -105,5 +138,51 @@ mod tests {
         s.record_enqueue(10);
         s.record_enqueue(3);
         assert_eq!(s.snapshot(0).max_callback_backlog, 10);
+    }
+
+    #[test]
+    fn max_backlog_survives_concurrent_publication() {
+        // The monotonicity contract under contention: whatever interleaving
+        // occurs, the final maximum is the largest value any thread saw.
+        let s = std::sync::Arc::new(StatsInner::default());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000usize {
+                        s.record_enqueue(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot(0).max_callback_backlog, 3999);
+        assert_eq!(s.callbacks_enqueued(), 4000);
+    }
+
+    #[test]
+    fn callback_delay_skips_untimed_entries() {
+        let s = StatsInner::default();
+        s.record_callback_delay(0, 100); // queued while tracing was off
+        assert_eq!(s.callback_delay.snapshot().count, 0);
+        s.record_callback_delay(40, 100);
+        let snap = s.callback_delay.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 60);
+    }
+
+    #[test]
+    fn rcu_stats_serde_round_trip() {
+        let stats = RcuStats {
+            gp_advances: 7,
+            membarrier_advances: 7,
+            callback_backlog: 3,
+            ..Default::default()
+        };
+        let content = serde::Serialize::to_content(&stats);
+        let back: RcuStats = serde::Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, stats);
     }
 }

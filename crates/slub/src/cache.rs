@@ -12,6 +12,7 @@ use pbs_alloc_api::{
 };
 use pbs_mem::PageAllocator;
 use pbs_rcu::Rcu;
+use pbs_telemetry::EventKind;
 
 /// Per-node slab bookkeeping, guarded by one lock (the "node list lock"
 /// whose contention the paper discusses in §3.1).
@@ -121,6 +122,23 @@ impl SlubCache {
             return (home, guard);
         }
         self.stats.shard(home).cpu_slot_misses.add_contended(1);
+        // Time the slow path only; the fast path above stays clock-free.
+        let t0 = if pbs_telemetry::enabled() {
+            pbs_telemetry::now_nanos()
+        } else {
+            0
+        };
+        let acquired = self.lock_cpu_slow(home);
+        if t0 != 0 {
+            self.stats
+                .slot_wait_ns
+                .record(pbs_telemetry::now_nanos().saturating_sub(t0));
+        }
+        acquired
+    }
+
+    /// Contended continuation of [`lock_cpu`](Self::lock_cpu).
+    fn lock_cpu_slow(&self, home: usize) -> (usize, MutexGuard<'_, Vec<ObjPtr>>) {
         for _ in 0..SLOT_SPIN {
             std::hint::spin_loop();
             if let Some(guard) = self.cpu_caches[home].try_lock() {
@@ -240,6 +258,16 @@ impl SlubCache {
             let shard = self.stats.shard(cpu_idx);
             shard.frees.bump();
             shard.live_delta.bump_sub();
+        } else {
+            // RCU callback returning a deferred object: this is the moment
+            // the baseline makes it reusable. Slot lock held → lane owned.
+            self.stats.ring.record(
+                cpu_idx,
+                EventKind::DeferredReusable,
+                self.stats.id(),
+                obj.addr() as u64,
+                0,
+            );
         }
         cache.push(obj);
         if cache.len() > self.policy.object_cache_size {
@@ -282,6 +310,13 @@ impl ObjectAllocator for SlubCache {
             let shard = self.stats.shard(cpu_idx);
             shard.deferred_frees.bump();
             shard.live_delta.bump_sub();
+            self.stats.ring.record(
+                cpu_idx,
+                EventKind::DeferredFree,
+                self.stats.id(),
+                obj.addr() as u64,
+                0,
+            );
         }
         // The baseline behaviour under test: the allocator registers an RCU
         // callback and the object stays invisible to it until background
@@ -313,6 +348,10 @@ impl ObjectAllocator for SlubCache {
     fn stats(&self) -> CacheStatsSnapshot {
         self.stats
             .snapshot(self.policy.object_size, self.policy.slab_bytes)
+    }
+
+    fn telemetry(&self) -> pbs_telemetry::ComponentTelemetry {
+        self.stats.telemetry()
     }
 
     fn quiesce(&self) {
@@ -500,6 +539,19 @@ mod tests {
         for o in objs {
             unsafe { c.free(o) };
         }
+    }
+
+    #[test]
+    fn telemetry_traces_deferred_lifecycle() {
+        let (c, _p, _rcu) = cache(64);
+        let a = c.allocate().unwrap();
+        unsafe { c.free_deferred(a) };
+        c.quiesce();
+        let t = c.telemetry();
+        assert_eq!(t.count_of(pbs_telemetry::EventKind::DeferredFree), 1);
+        assert_eq!(t.count_of(pbs_telemetry::EventKind::DeferredReusable), 1);
+        assert!(t.count_of(pbs_telemetry::EventKind::SlabGrow) >= 1);
+        assert!(t.histogram("slot_wait_ns").is_some());
     }
 
     #[test]

@@ -105,6 +105,11 @@ impl SlubHeap {
         self.caches.iter().map(|c| c.stats()).collect()
     }
 
+    /// Telemetry (histograms + trace events) for every size class.
+    pub fn telemetry(&self) -> Vec<pbs_telemetry::ComponentTelemetry> {
+        self.caches.iter().map(|c| c.telemetry()).collect()
+    }
+
     /// Waits for all deferred frees to be reclaimed.
     pub fn quiesce(&self) {
         if let Some(c) = self.caches.first() {

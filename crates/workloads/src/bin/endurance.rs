@@ -1,15 +1,19 @@
 //! Full-length Figure 3 endurance run with a CSV memory trace.
 //!
 //! ```text
-//! cargo run --release -p pbs-workloads --bin endurance [seconds] [--csv PATH]
+//! cargo run --release -p pbs-workloads --bin endurance [seconds] [--csv PATH] [--telemetry PREFIX]
 //! ```
 //!
 //! Prints the per-allocator summary and optionally writes
 //! `ms,slub_bytes,prudence_bytes` rows suitable for plotting Figure 3.
+//! With `--telemetry`, both runs' merged telemetry is written to
+//! `PREFIX.prom` and `PREFIX.trace.json`.
 
 use std::time::Duration;
 
+use pbs_alloc_api::TelemetrySnapshot;
 use pbs_workloads::endurance::{run_endurance, EnduranceParams};
+use pbs_workloads::telemetry_export::{accumulate_labeled, telemetry_arg, write_telemetry};
 use pbs_workloads::AllocatorKind;
 
 fn main() {
@@ -24,6 +28,7 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let telemetry_prefix = telemetry_arg(&args);
 
     let params = EnduranceParams {
         duration: Duration::from_secs(seconds),
@@ -40,6 +45,15 @@ fn main() {
     println!("{}", slub.render());
     let prudence = run_endurance(AllocatorKind::Prudence, &params);
     println!("{}", prudence.render());
+
+    if let Some(prefix) = &telemetry_prefix {
+        let mut telemetry = TelemetrySnapshot::default();
+        accumulate_labeled(&mut telemetry, "slub", slub.telemetry.clone());
+        accumulate_labeled(&mut telemetry, "prudence", prudence.telemetry.clone());
+        let (prom, trace) = write_telemetry(prefix, &telemetry).expect("write telemetry");
+        println!("wrote {}", prom.display());
+        println!("wrote {} (load it in chrome://tracing)", trace.display());
+    }
 
     if let Some(path) = csv_path {
         let mut csv = String::from("ms,slub_bytes,prudence_bytes\n");

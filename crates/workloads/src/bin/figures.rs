@@ -2,14 +2,17 @@
 //! prints them in paper-like form (plus machine-readable JSON).
 //!
 //! ```text
-//! cargo run --release -p pbs-workloads --bin figures [--quick] [--json PATH]
+//! cargo run --release -p pbs-workloads --bin figures [--quick] [--json PATH] [--telemetry PREFIX]
 //! ```
 //!
 //! `--quick` shrinks workload sizes for a fast smoke pass; the default
-//! parameters take a few minutes on a laptop.
+//! parameters take a few minutes on a laptop. With `--telemetry`, the
+//! merged telemetry of the two Figure 3 endurance runs is written to
+//! `PREFIX.prom` and `PREFIX.trace.json`.
 
 use std::time::Duration;
 
+use pbs_alloc_api::TelemetrySnapshot;
 use pbs_workloads::apps::AppParams;
 use pbs_workloads::endurance::EnduranceParams;
 use pbs_workloads::figures::{
@@ -17,6 +20,7 @@ use pbs_workloads::figures::{
     section33_cost_table, FIG6_SIZES,
 };
 use pbs_workloads::microbench::MicrobenchParams;
+use pbs_workloads::telemetry_export::{accumulate_labeled, telemetry_arg, write_telemetry};
 use pbs_workloads::tree_churn::{run_tree_churn, TreeChurnParams};
 use pbs_workloads::AllocatorKind;
 
@@ -28,6 +32,7 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let telemetry_prefix = telemetry_arg(&args);
 
     let scale: u64 = if quick { 1 } else { 10 };
 
@@ -77,6 +82,15 @@ fn main() {
             r.stats.slabs_peak
         );
         tree_reports.push(r);
+    }
+
+    if let Some(prefix) = &telemetry_prefix {
+        let mut telemetry = TelemetrySnapshot::default();
+        accumulate_labeled(&mut telemetry, "slub", slub3.telemetry.clone());
+        accumulate_labeled(&mut telemetry, "prudence", prudence3.telemetry.clone());
+        let (prom, trace) = write_telemetry(prefix, &telemetry).expect("write telemetry");
+        println!("wrote {}", prom.display());
+        println!("wrote {} (load it in chrome://tracing)", trace.display());
     }
 
     if let Some(path) = json_path {

@@ -1,18 +1,26 @@
 //! Standalone Figure 6 sweep with per-run allocator attributes.
 //!
 //! ```text
-//! cargo run --release -p pbs-workloads --bin microbench [pairs_per_thread]
+//! cargo run --release -p pbs-workloads --bin microbench [pairs_per_thread] [--telemetry PREFIX]
 //! ```
+//!
+//! With `--telemetry`, the merged telemetry of every (size, allocator)
+//! run is written to `PREFIX.prom` and `PREFIX.trace.json`.
 
+use pbs_alloc_api::TelemetrySnapshot;
 use pbs_workloads::figures::FIG6_SIZES;
 use pbs_workloads::microbench::{run_microbench, MicrobenchParams};
+use pbs_workloads::telemetry_export::{accumulate_labeled, telemetry_arg, write_telemetry};
 use pbs_workloads::AllocatorKind;
 
 fn main() {
-    let pairs: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let pairs: u64 = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(200_000);
+    let telemetry_prefix = telemetry_arg(&args);
     let params = MicrobenchParams {
         pairs_per_thread: pairs,
         ..MicrobenchParams::default()
@@ -25,6 +33,7 @@ fn main() {
         "{:<9} {:>5} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6}",
         "alloc", "size", "pairs/s", "hit%", "refills", "flushes", "grows", "shrinks", "peak"
     );
+    let mut telemetry = TelemetrySnapshot::default();
     for size in FIG6_SIZES {
         for kind in AllocatorKind::BOTH {
             let point = run_microbench(kind, size, &params);
@@ -41,6 +50,14 @@ fn main() {
                 s.shrinks,
                 s.slabs_peak
             );
+            if telemetry_prefix.is_some() {
+                accumulate_labeled(&mut telemetry, kind.label(), point.telemetry);
+            }
         }
+    }
+    if let Some(prefix) = telemetry_prefix {
+        let (prom, trace) = write_telemetry(&prefix, &telemetry).expect("write telemetry");
+        println!("wrote {}", prom.display());
+        println!("wrote {} (load it in chrome://tracing)", trace.display());
     }
 }

@@ -1,0 +1,106 @@
+//! Captures (or validates) a telemetry dump.
+//!
+//! ```text
+//! # Run a short two-allocator workload and write <prefix>.prom +
+//! # <prefix>.trace.json (default prefix: target/telemetry/trace_dump):
+//! cargo run --release -p pbs-workloads --bin trace_dump [-- <prefix>]
+//!
+//! # Validate a previously written dump (CI schema check); exits nonzero
+//! # on a malformed exposition or trace:
+//! cargo run --release -p pbs-workloads --bin trace_dump -- --validate <prefix>
+//! ```
+//!
+//! The `.trace.json` file loads directly in chrome://tracing or
+//! <https://ui.perfetto.dev>: each component (RCU domain, caches) is a
+//! process, each ring lane a thread, each trace record an instant event.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pbs_alloc_api::TelemetrySnapshot;
+use pbs_rcu::RcuConfig;
+use pbs_workloads::telemetry_export::{
+    validate_chrome_trace, validate_prometheus, write_telemetry,
+};
+use pbs_workloads::{AllocatorKind, Testbed};
+
+/// Runs a short alloc/free_deferred loop on one allocator so every event
+/// family (grace periods, latent-cache traffic, deferred frees, slab
+/// movement) shows up in the dump.
+fn exercise(kind: AllocatorKind) -> TelemetrySnapshot {
+    let bed = Testbed::new(kind, 2, RcuConfig::eager(), Some(64 << 20));
+    let cache = bed.create_cache(&format!("{}-demo", kind.label()), 256);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let obj = cache.allocate().expect("demo workload within budget");
+                    // SAFETY: fresh exclusive object.
+                    unsafe { cache.free_deferred(obj) };
+                }
+            });
+        }
+    });
+    bed.rcu().synchronize();
+    cache.quiesce();
+    bed.telemetry()
+}
+
+fn validate(prefix: &Path) -> Result<(), String> {
+    let prom_path = prefix.with_extension("prom");
+    let trace_path = prefix.with_extension("trace.json");
+    let prom = std::fs::read_to_string(&prom_path)
+        .map_err(|e| format!("read {}: {e}", prom_path.display()))?;
+    validate_prometheus(&prom).map_err(|e| format!("{}: {e}", prom_path.display()))?;
+    println!("ok: {} is valid Prometheus exposition", prom_path.display());
+    let trace = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("read {}: {e}", trace_path.display()))?;
+    validate_chrome_trace(&trace).map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    println!("ok: {} is valid chrome://tracing JSON", trace_path.display());
+    Ok(())
+}
+
+fn dump(prefix: &Path) -> Result<(), String> {
+    let mut snap = exercise(AllocatorKind::Slub);
+    snap.merge(&exercise(AllocatorKind::Prudence));
+    let (prom, trace) =
+        write_telemetry(prefix, &snap).map_err(|e| format!("write {}: {e}", prefix.display()))?;
+    println!("wrote {}", prom.display());
+    println!("wrote {} (load it in chrome://tracing)", trace.display());
+    println!(
+        "captured {} trace events across {} caches + the RCU domain",
+        snap.total_events(),
+        snap.caches.len()
+    );
+    for (kind, count) in &snap.rcu_telemetry.event_counts {
+        if *count > 0 {
+            println!("  rcu {kind}: {count}");
+        }
+    }
+    for cache in &snap.caches {
+        for (kind, count) in &cache.telemetry.event_counts {
+            if *count > 0 {
+                println!("  {} {kind}: {count}", cache.name);
+            }
+        }
+    }
+    // Never ship a dump the validators would reject.
+    validate(prefix)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--validate") => match args.get(1) {
+            Some(prefix) => validate(&PathBuf::from(prefix)),
+            None => Err("usage: trace_dump --validate <prefix>".to_owned()),
+        },
+        Some(prefix) => dump(&PathBuf::from(prefix)),
+        None => dump(&PathBuf::from("target/telemetry/trace_dump")),
+    };
+    if let Err(msg) = result {
+        eprintln!("trace_dump: {msg}");
+        std::process::exit(1);
+    }
+}

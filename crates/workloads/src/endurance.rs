@@ -75,6 +75,8 @@ pub struct EnduranceReport {
     pub peak_used_bytes: usize,
     /// Used memory at the end of the run.
     pub final_used_bytes: usize,
+    /// Full telemetry capture of the run (RCU domain + per-thread caches).
+    pub telemetry: pbs_alloc_api::TelemetrySnapshot,
 }
 
 impl EnduranceReport {
@@ -124,6 +126,10 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
     let oom = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
     let mut updates = 0u64;
+    // The lists (and thus the caches) die with their worker threads; hold
+    // an extra handle per cache so the post-run telemetry sweep still sees
+    // them.
+    let mut kept_caches = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..params.threads {
@@ -134,11 +140,12 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
                 // Each CPU updates a different list (no list-lock
                 // contention), objects are 512 bytes as in §3.5.
                 let cache = bed.create_cache(&format!("endurance-{t}"), 512);
+                let keep = Arc::clone(&cache);
                 let list: RcuList<[u64; 4]> = RcuList::new(cache);
                 for i in 0..params.list_entries {
                     if list.insert(i, [i; 4]).is_err() {
                         oom.store(true, Ordering::Relaxed);
-                        return 0;
+                        return (0, keep);
                     }
                 }
                 let mut local = 0u64;
@@ -152,11 +159,13 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
                         }
                     }
                 }
-                local
+                (local, keep)
             }));
         }
         for h in handles {
-            updates += h.join().expect("endurance worker");
+            let (local, keep) = h.join().expect("endurance worker");
+            updates += local;
+            kept_caches.push(keep);
         }
     });
     let oom_at_ms = oom
@@ -172,6 +181,8 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
         .collect();
     let peak = bed.pages().peak_bytes();
     let final_used = bed.pages().used_bytes();
+    let telemetry = bed.telemetry();
+    drop(kept_caches);
     EnduranceReport {
         allocator: kind.label().to_owned(),
         samples,
@@ -179,6 +190,7 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
         updates,
         peak_used_bytes: peak,
         final_used_bytes: final_used,
+        telemetry,
     }
 }
 

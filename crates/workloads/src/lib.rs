@@ -22,6 +22,7 @@ pub mod endurance;
 pub mod figures;
 pub mod microbench;
 mod report;
+pub mod telemetry_export;
 mod testbed;
 pub mod tree_churn;
 

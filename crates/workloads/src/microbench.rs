@@ -58,6 +58,9 @@ pub struct MicrobenchPoint {
     pub pairs_per_sec: f64,
     /// Allocator attributes for the run (churns, peaks, hits).
     pub stats: pbs_alloc_api::CacheStatsSnapshot,
+    /// Full telemetry capture of the run (RCU domain + cache), taken
+    /// after quiesce so every trace event is included.
+    pub telemetry: pbs_alloc_api::TelemetrySnapshot,
 }
 
 /// Runs the tight loop for one allocator and one object size.
@@ -98,10 +101,12 @@ pub fn run_microbench(
     let total_pairs = params.threads as u64 * params.pairs_per_thread;
     let stats = cache.stats();
     cache.quiesce();
+    let telemetry = bed.telemetry();
     MicrobenchPoint {
         object_size,
         pairs_per_sec: total_pairs as f64 / elapsed.as_secs_f64(),
         stats,
+        telemetry,
     }
 }
 

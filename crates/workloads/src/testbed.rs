@@ -1,8 +1,10 @@
 //! The shared experiment environment.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use pbs_alloc_api::{CacheFactory, ObjectAllocator};
+use parking_lot::Mutex;
+
+use pbs_alloc_api::{CacheFactory, ObjectAllocator, TelemetrySnapshot};
 use pbs_mem::PageAllocator;
 use pbs_rcu::{Rcu, RcuConfig};
 use pbs_slub::SlubFactory;
@@ -55,6 +57,10 @@ pub struct Testbed {
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
     factory: Box<dyn CacheFactory>,
+    /// Weak handles to every cache created through this testbed, so
+    /// [`Testbed::telemetry`] can sweep them without keeping them alive
+    /// past their experiment.
+    created: Mutex<Vec<Weak<dyn ObjectAllocator>>>,
 }
 
 impl std::fmt::Debug for Testbed {
@@ -103,6 +109,7 @@ impl Testbed {
             pages,
             rcu,
             factory,
+            created: Mutex::new(Vec::new()),
         }
     }
 
@@ -128,7 +135,23 @@ impl Testbed {
 
     /// Convenience: creates one named cache.
     pub fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
-        self.factory.create_cache(name, object_size)
+        let cache = self.factory.create_cache(name, object_size);
+        self.created.lock().push(Arc::downgrade(&cache));
+        cache
+    }
+
+    /// Captures a full telemetry snapshot of the run so far: the RCU
+    /// domain's counters, histograms and grace-period events, plus the
+    /// stats, histograms and events of every still-live cache created
+    /// through this testbed.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(self.rcu.stats(), self.rcu.telemetry());
+        for weak in self.created.lock().iter() {
+            if let Some(cache) = weak.upgrade() {
+                snap.push_cache(cache.as_ref());
+            }
+        }
+        snap
     }
 }
 
