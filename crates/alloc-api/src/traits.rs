@@ -152,6 +152,14 @@ pub trait ObjectAllocator: Send + Sync {
     /// and are reusable. Used at the end of benchmark runs so peak/
     /// fragmentation measurements compare like with like.
     fn quiesce(&self);
+
+    /// Number of objects whose free was deferred and has not yet been
+    /// reclaimed into a reusable state. After [`quiesce`](Self::quiesce)
+    /// this must be zero — the chaos harness asserts exactly that. The
+    /// default is `0` for allocators without a deferral path.
+    fn deferred_outstanding(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -291,8 +291,7 @@ impl Inner {
                 }
             }
             match self.refill(cpu_idx, &mut cpu) {
-                Ok(()) => {
-                    let obj = cpu.obj_cache.pop().expect("refill produced objects");
+                Ok(obj) => {
                     shard.live_delta.bump_add();
                     return Ok(obj);
                 }
@@ -316,7 +315,13 @@ impl Inner {
     /// REFILL_OBJECT_CACHE (Algorithm lines 13-30): partial refill sized by
     /// pending deferred objects, deferred-aware slab selection, growing the
     /// cache as a last resort.
-    fn refill(&self, cpu_idx: usize, cpu: &mut CpuState) -> Result<(), AllocError> {
+    ///
+    /// Returns the object the caller asked for; `Ok` *proves* the cache
+    /// produced one rather than leaving the caller to pop-and-hope. Every
+    /// failure — including injected page-allocator faults — comes back as
+    /// `Err`, never an unwind: the locks held here (`parking_lot`) do not
+    /// poison, and nothing on this path panics on OOM.
+    fn refill(&self, cpu_idx: usize, cpu: &mut CpuState) -> Result<ObjPtr, AllocError> {
         self.stats.shard(cpu_idx).refills.bump();
         let latent_count = if self.config.partial_refill {
             cpu.latent.len()
@@ -370,10 +375,9 @@ impl Inner {
                 break;
             }
         }
-        if cpu.obj_cache.is_empty() {
-            Err(AllocError::OutOfMemory)
-        } else {
-            Ok(())
+        match cpu.obj_cache.pop() {
+            Some(obj) => Ok(obj),
+            None => Err(AllocError::OutOfMemory),
         }
     }
 
@@ -446,9 +450,11 @@ impl Inner {
 
     /// GROW (line 29): allocates one slab from the page allocator.
     fn grow(&self, node: &mut Node) -> Result<usize, pbs_mem::OutOfMemory> {
-        let block = self
-            .pages
-            .allocate_aligned(self.policy.slab_bytes, self.policy.slab_bytes)?;
+        let block = self.pages.allocate_aligned_at(
+            self.policy.slab_bytes,
+            self.policy.slab_bytes,
+            pbs_fault::site::PRUDENCE_GROW,
+        )?;
         let color = node.next_color;
         node.next_color = node.next_color.wrapping_add(1);
         // The slab table index must be stamped into the header; reserve the
@@ -808,6 +814,10 @@ impl ObjectAllocator for PrudenceCache {
 
     fn quiesce(&self) {
         self.inner.quiesce();
+    }
+
+    fn deferred_outstanding(&self) -> usize {
+        PrudenceCache::deferred_outstanding(self)
     }
 }
 

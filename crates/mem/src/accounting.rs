@@ -38,19 +38,48 @@ impl MemoryAccounting {
 
     /// Records an allocation of `bytes`, updating the peak watermark.
     pub fn record_alloc(&self, bytes: usize) {
-        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let reserved = self.try_reserve(bytes, None);
+        debug_assert!(reserved, "unlimited reserve can only fail on overflow");
+        self.commit_reserve();
+    }
+
+    /// Atomically reserves `bytes` against an optional `limit`.
+    ///
+    /// On success `used` includes the reservation and the caller **must**
+    /// follow up with [`commit_reserve`](Self::commit_reserve) once the
+    /// backing allocation succeeds, or [`cancel_reserve`](Self::cancel_reserve)
+    /// if it fails. Returns `false` — leaving `used` untouched — when the
+    /// reservation would exceed `limit` or overflow. Because admission is a
+    /// single compare-exchange on `used`, concurrent allocators can never
+    /// overshoot the limit: `used <= limit` is an invariant, not a hint.
+    pub fn try_reserve(&self, bytes: usize, limit: Option<usize>) -> bool {
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                let next = used.checked_add(bytes)?;
+                match limit {
+                    Some(l) if next > l => None,
+                    _ => Some(next),
+                }
+            })
+            .is_ok()
+    }
+
+    /// Releases a reservation whose backing allocation failed.
+    pub fn cancel_reserve(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "cancelled more than was reserved");
+    }
+
+    /// Completes a successful reservation: counts the allocation event and
+    /// folds the current usage into the peak watermark.
+    ///
+    /// The peak may transiently include a concurrent reservation that is
+    /// later cancelled, but it can never exceed a configured limit because
+    /// `used` itself never does.
+    pub fn commit_reserve(&self) {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        // Lock-free peak update; racing updates settle on the maximum.
-        let mut peak = self.peak.load(Ordering::Relaxed);
-        while now > peak {
-            match self
-                .peak
-                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => break,
-                Err(observed) => peak = observed,
-            }
-        }
+        self.peak
+            .fetch_max(self.used.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Records a free of `bytes`.
@@ -135,6 +164,52 @@ mod tests {
         assert!(a.peak_bytes() >= 64);
         assert_eq!(a.alloc_count(), 80_000);
         assert_eq!(a.free_count(), 80_000);
+    }
+
+    #[test]
+    fn reserve_respects_limit_exactly() {
+        let a = MemoryAccounting::new();
+        assert!(a.try_reserve(60, Some(100)));
+        a.commit_reserve();
+        assert!(!a.try_reserve(41, Some(100)), "would exceed the limit");
+        assert_eq!(a.used_bytes(), 60, "failed reserve leaves used untouched");
+        assert!(a.try_reserve(40, Some(100)));
+        a.commit_reserve();
+        assert_eq!(a.used_bytes(), 100);
+        assert_eq!(a.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn cancelled_reserve_is_not_counted() {
+        let a = MemoryAccounting::new();
+        assert!(a.try_reserve(50, Some(100)));
+        a.cancel_reserve(50);
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.alloc_count(), 0, "only commits count as allocations");
+    }
+
+    #[test]
+    fn concurrent_reserves_never_exceed_limit() {
+        let a = Arc::new(MemoryAccounting::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        if a.try_reserve(7, Some(64)) {
+                            a.commit_reserve();
+                            assert!(a.used_bytes() <= 64);
+                            a.record_free(7);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.used_bytes(), 0);
+        assert!(a.peak_bytes() <= 64, "hard cap: peak {} > 64", a.peak_bytes());
     }
 
     #[test]

@@ -9,6 +9,9 @@ use std::alloc::{alloc, dealloc, Layout};
 use std::fmt;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pbs_fault::{site, FaultInjector};
 
 use crate::accounting::MemoryAccounting;
 use crate::PAGE_SIZE;
@@ -101,14 +104,24 @@ impl PageBlock {
 #[derive(Debug, Default)]
 pub struct PageAllocatorBuilder {
     limit_bytes: Option<usize>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl PageAllocatorBuilder {
     /// Sets a hard limit on total outstanding bytes; allocations that would
     /// exceed it fail with [`OutOfMemory`]. This models the finite physical
-    /// memory of the paper's test machine.
+    /// memory of the paper's test machine. Admission is a compare-exchange
+    /// reserve, so concurrent allocators can never overshoot the limit.
     pub fn limit_bytes(mut self, limit: usize) -> Self {
         self.limit_bytes = Some(limit);
+        self
+    }
+
+    /// Attaches a fault injector: every block allocation consults it (under
+    /// the [`site::PAGE_ALLOC`] catch-all plus the caller's specific site
+    /// tag) and fails with [`OutOfMemory`] when a scheduled fault fires.
+    pub fn fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -118,6 +131,7 @@ impl PageAllocatorBuilder {
             limit_bytes: self.limit_bytes,
             accounting: MemoryAccounting::new(),
             outstanding_blocks: AtomicUsize::new(0),
+            faults: self.faults,
         }
     }
 }
@@ -144,6 +158,7 @@ pub struct PageAllocator {
     limit_bytes: Option<usize>,
     accounting: MemoryAccounting,
     outstanding_blocks: AtomicUsize,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for PageAllocator {
@@ -187,34 +202,57 @@ impl PageAllocator {
     ///
     /// Panics if `align` is not a power of two.
     pub fn allocate_aligned(&self, bytes: usize, align: usize) -> Result<PageBlock, OutOfMemory> {
+        self.allocate_aligned_at(bytes, align, site::PAGE_ALLOC)
+    }
+
+    /// [`allocate_aligned`](Self::allocate_aligned) with a fault-site tag,
+    /// letting callers (slab grow paths) be targeted individually by an
+    /// attached [`FaultInjector`]. Without an injector the tag is inert.
+    pub fn allocate_aligned_at(
+        &self,
+        bytes: usize,
+        align: usize,
+        fault_site: &'static str,
+    ) -> Result<PageBlock, OutOfMemory> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let bytes = crate::pages_for(bytes.max(1)) * PAGE_SIZE;
-        if let Some(limit) = self.limit_bytes {
-            // Optimistic admission check; a tiny overshoot race between
-            // threads is acceptable for an experiment harness (the kernel
-            // has the same property with per-CPU page caches).
-            if self.accounting.used_bytes().saturating_add(bytes) > limit {
-                return Err(OutOfMemory {
-                    requested_bytes: bytes,
-                });
+        let align = align.max(PAGE_SIZE);
+        // An over-aligned block (align > rounded size) consumes `align`
+        // bytes of address space from the backing allocator, so charge,
+        // allocate, and later free exactly that: accounting, the limit
+        // reserve, and the `free_pages` layout all see one size.
+        let bytes = (crate::pages_for(bytes.max(1)) * PAGE_SIZE).max(align);
+        let oom = OutOfMemory {
+            requested_bytes: bytes,
+        };
+        if let Some(faults) = &self.faults {
+            // Consult both the catch-all and the caller's specific tag so
+            // one schedule can cover every allocation while per-site call
+            // counts stay complete for coverage audits.
+            let catch_all = faults.should_fail(site::PAGE_ALLOC);
+            let tagged = fault_site != site::PAGE_ALLOC && faults.should_fail(fault_site);
+            if catch_all || tagged {
+                return Err(oom);
             }
         }
-        let layout = Layout::from_size_align(bytes, align.max(PAGE_SIZE))
-            .map_err(|_| OutOfMemory {
-                requested_bytes: bytes,
-            })?;
+        // Reserve-commit-cancel: admission and the usage update are one
+        // compare-exchange, so `used_bytes <= limit` holds at every instant
+        // — concurrent allocators cannot overshoot a configured limit.
+        if !self.accounting.try_reserve(bytes, self.limit_bytes) {
+            return Err(oom);
+        }
+        let Ok(layout) = Layout::from_size_align(bytes, align) else {
+            self.accounting.cancel_reserve(bytes);
+            return Err(oom);
+        };
         // SAFETY: layout has non-zero size (bytes >= PAGE_SIZE).
         let raw = unsafe { alloc(layout) };
-        let ptr = NonNull::new(raw).ok_or(OutOfMemory {
-            requested_bytes: bytes,
-        })?;
-        self.accounting.record_alloc(bytes);
+        let Some(ptr) = NonNull::new(raw) else {
+            self.accounting.cancel_reserve(bytes);
+            return Err(oom);
+        };
+        self.accounting.commit_reserve();
         self.outstanding_blocks.fetch_add(1, Ordering::Relaxed);
-        Ok(PageBlock {
-            ptr,
-            bytes,
-            align: align.max(PAGE_SIZE),
-        })
+        Ok(PageBlock { ptr, bytes, align })
     }
 
     /// Returns a block to the allocator, releasing its memory.
@@ -364,9 +402,71 @@ mod tests {
         let failures: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
         assert!(failures > 0, "the limit must have pushed back");
         assert_eq!(pages.used_bytes(), 0);
-        // Small races may overshoot by at most one in-flight block per
-        // thread; the accounting itself must never go negative or leak.
-        assert!(pages.peak_bytes() <= 64 * PAGE_SIZE + 4 * 2 * PAGE_SIZE);
+        // The limit is a hard cap: the compare-exchange reserve admits an
+        // allocation and charges it in one step, so not even a transient
+        // overshoot is possible.
+        assert!(pages.peak_bytes() <= 64 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn over_aligned_block_charges_its_alignment() {
+        let pages = PageAllocator::new();
+        let b = pages.allocate_aligned(PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
+        assert_eq!(b.len(), 8 * PAGE_SIZE, "block spans the aligned size");
+        assert_eq!(b.base().as_ptr() as usize % (8 * PAGE_SIZE), 0);
+        assert_eq!(pages.used_bytes(), 8 * PAGE_SIZE, "charged what it consumes");
+        pages.free_pages(b);
+        assert_eq!(pages.used_bytes(), 0);
+    }
+
+    #[test]
+    fn over_aligned_block_counts_against_limit() {
+        let pages = PageAllocator::builder().limit_bytes(8 * PAGE_SIZE).build();
+        // 1 page requested but 8-page alignment: the reserve must charge 8
+        // pages, so a second over-aligned block cannot be admitted.
+        let a = pages.allocate_aligned(PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
+        assert!(pages.allocate_aligned(PAGE_SIZE, 8 * PAGE_SIZE).is_err());
+        pages.free_pages(a);
+    }
+
+    #[test]
+    fn injected_fault_fails_allocation_without_charging() {
+        use pbs_fault::Schedule;
+        let faults = Arc::new(FaultInjector::new(11));
+        faults.schedule(site::PAGE_ALLOC, Schedule::Nth(2));
+        let pages = PageAllocator::builder()
+            .fault_injector(Arc::clone(&faults))
+            .build();
+        let a = pages.allocate_pages(1).unwrap();
+        let err = pages.allocate_pages(1).unwrap_err();
+        assert_eq!(err.requested_bytes, PAGE_SIZE);
+        assert_eq!(pages.used_bytes(), PAGE_SIZE, "failed alloc charges nothing");
+        assert!(pages.allocate_pages(1).is_ok_and(|b| {
+            pages.free_pages(b);
+            true
+        }));
+        pages.free_pages(a);
+        assert_eq!(faults.injected(site::PAGE_ALLOC), 1);
+    }
+
+    #[test]
+    fn tagged_site_is_consulted_alongside_catch_all() {
+        use pbs_fault::Schedule;
+        let faults = Arc::new(FaultInjector::new(3));
+        faults.schedule("test.grow", Schedule::EveryKth(1));
+        let pages = PageAllocator::builder()
+            .fault_injector(Arc::clone(&faults))
+            .build();
+        // Untagged allocations are unaffected by the site-specific schedule.
+        let b = pages.allocate_pages(1).unwrap();
+        pages.free_pages(b);
+        // Tagged ones always fail under the blackout.
+        assert!(pages
+            .allocate_aligned_at(PAGE_SIZE, PAGE_SIZE, "test.grow")
+            .is_err());
+        assert_eq!(faults.injected("test.grow"), 1);
+        assert_eq!(faults.calls(site::PAGE_ALLOC), 2, "catch-all saw every call");
+        assert_eq!(pages.used_bytes(), 0);
     }
 
     #[test]

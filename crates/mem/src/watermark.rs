@@ -44,25 +44,53 @@ pub struct WatermarkSampler {
     stop: Arc<AtomicBool>,
     samples: Arc<Mutex<Vec<MemorySample>>>,
     handle: Option<JoinHandle<()>>,
+    pages: Arc<PageAllocator>,
+    start: Instant,
 }
 
 impl WatermarkSampler {
     /// Starts sampling `pages` every `interval` until [`stop`](Self::stop)
     /// is called.
+    ///
+    /// Ticks are scheduled on absolute deadlines (`start + k * interval`)
+    /// rather than sleeping `interval` after each sample, so timestamps do
+    /// not drift by the per-sample processing time over long endurance runs.
+    /// If the thread falls behind (scheduler stall), missed ticks are
+    /// skipped instead of replayed in a burst.
     pub fn start(pages: Arc<PageAllocator>, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let samples = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
         let handle = {
             let stop = Arc::clone(&stop);
             let samples = Arc::clone(&samples);
+            let pages = Arc::clone(&pages);
             std::thread::spawn(move || {
-                let start = Instant::now();
+                let mut tick: u32 = 0;
                 while !stop.load(Ordering::Relaxed) {
                     samples.lock().push(MemorySample {
                         elapsed: start.elapsed(),
                         used_bytes: pages.used_bytes(),
                     });
-                    std::thread::sleep(interval);
+                    tick += 1;
+                    let mut deadline = start + interval * tick;
+                    let now = Instant::now();
+                    while deadline <= now {
+                        tick += 1;
+                        deadline = start + interval * tick;
+                    }
+                    // Sleep toward the deadline in short slices so `stop()`
+                    // stays responsive even with long sampling intervals.
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                    }
                 }
             })
         };
@@ -70,16 +98,27 @@ impl WatermarkSampler {
             stop,
             samples,
             handle: Some(handle),
+            pages,
+            start,
         }
     }
 
     /// Stops the sampler and returns all collected samples in order.
+    ///
+    /// A final sample is captured after the background thread has joined,
+    /// so the series always ends with the state at `stop()` — endurance
+    /// plots would otherwise miss up to one interval of tail activity.
     pub fn stop(mut self) -> Vec<MemorySample> {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        std::mem::take(&mut *self.samples.lock())
+        let mut samples = std::mem::take(&mut *self.samples.lock());
+        samples.push(MemorySample {
+            elapsed: self.start.elapsed(),
+            used_bytes: self.pages.used_bytes(),
+        });
+        samples
     }
 }
 
@@ -119,6 +158,47 @@ mod tests {
         let samples = sampler.stop();
         assert!(samples.iter().any(|s| s.used_bytes == 16 * crate::PAGE_SIZE));
         assert!(samples.iter().any(|s| s.used_bytes == 0));
+    }
+
+    #[test]
+    fn sample_cadence_does_not_drift() {
+        let pages = Arc::new(PageAllocator::new());
+        let interval = Duration::from_millis(2);
+        let sampler = WatermarkSampler::start(Arc::clone(&pages), interval);
+        std::thread::sleep(Duration::from_millis(40));
+        let samples = sampler.stop();
+        // Deadline-based ticks: every timestamp sits on (close to) a
+        // multiple of the interval rather than accumulating per-iteration
+        // skew. Allow generous scheduler slack but reject systematic drift:
+        // the k-th sample lands near k * interval, never at ~2k * interval
+        // as a drifting sampler eventually would.
+        for (k, s) in samples.iter().enumerate().skip(1).take(samples.len() - 2) {
+            let ideal = interval * k as u32;
+            assert!(
+                s.elapsed + interval / 2 >= ideal,
+                "sample {k} at {:?} ran ahead of its deadline {ideal:?}",
+                s.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn stop_captures_final_sample_immediately() {
+        let pages = Arc::new(PageAllocator::new());
+        // Interval far longer than the test: only the t=0 sample would ever
+        // be recorded, so the tail state must come from stop()'s final
+        // capture — and stop() must not block for the full interval.
+        let sampler = WatermarkSampler::start(Arc::clone(&pages), Duration::from_secs(5));
+        let b = pages.allocate_pages(4).unwrap();
+        let begin = Instant::now();
+        let samples = sampler.stop();
+        assert!(
+            begin.elapsed() < Duration::from_secs(1),
+            "stop() must not wait out the sampling interval"
+        );
+        let last = samples.last().unwrap();
+        assert_eq!(last.used_bytes, 4 * crate::PAGE_SIZE);
+        pages.free_pages(b);
     }
 
     #[test]

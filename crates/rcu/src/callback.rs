@@ -114,6 +114,11 @@ pub struct RcuConfig {
     pub pressure_threshold: f64,
     /// Batch limit used while under memory pressure.
     pub pressure_blimit: usize,
+    /// Optional fault injector consulted (site [`pbs_fault::site::RCU_ADVANCE`])
+    /// on every grace-period-advance attempt; a scheduled fault refuses the
+    /// advance, stalling reclamation for that attempt. Stalls are counted in
+    /// [`RcuStats::injected_gp_stalls`](crate::RcuStats::injected_gp_stalls).
+    pub fault_injector: Option<Arc<pbs_fault::FaultInjector>>,
 }
 
 impl std::fmt::Debug for RcuConfig {
@@ -129,6 +134,10 @@ impl std::fmt::Debug for RcuConfig {
             .field("pressure_probe", &self.pressure_probe.as_ref().map(|_| "<fn>"))
             .field("pressure_threshold", &self.pressure_threshold)
             .field("pressure_blimit", &self.pressure_blimit)
+            .field(
+                "fault_injector",
+                &self.fault_injector.as_ref().map(|_| "<injector>"),
+            )
             .finish()
     }
 }
@@ -146,6 +155,7 @@ impl Default for RcuConfig {
             pressure_probe: None,
             pressure_threshold: 0.8,
             pressure_blimit: 16384,
+            fault_injector: None,
         }
     }
 }
@@ -170,6 +180,13 @@ impl RcuConfig {
     /// [`pressure_probe`](Self::pressure_probe)).
     pub fn with_pressure_probe(mut self, probe: Arc<dyn Fn() -> f64 + Send + Sync>) -> Self {
         self.pressure_probe = Some(probe);
+        self
+    }
+
+    /// Attaches a fault injector (see
+    /// [`fault_injector`](Self::fault_injector)).
+    pub fn with_fault_injector(mut self, faults: Arc<pbs_fault::FaultInjector>) -> Self {
+        self.fault_injector = Some(faults);
         self
     }
 

@@ -46,6 +46,16 @@ impl Inner {
     /// active, pinned reader has observed the current epoch. Returns the
     /// epoch observed after the attempt.
     pub(crate) fn try_advance(&self) -> u64 {
+        // Injected grace-period stall: refuse this attempt outright, as if
+        // a pinned reader were lagging. Refusing an advance is always safe
+        // (it only procrastinates harder), which is what makes this fault
+        // injectable at will without a soundness question.
+        if let Some(faults) = &self.config.fault_injector {
+            if faults.should_fail(pbs_fault::site::RCU_ADVANCE) {
+                self.stats.injected_gp_stalls.fetch_add(1, Ordering::Relaxed);
+                return self.epoch.load(Ordering::Acquire);
+            }
+        }
         let global = self.epoch.load(Ordering::Acquire);
         let registry = self.registry.lock();
         // Cheap refusal first: if any pin is already *visibly* behind the
@@ -814,6 +824,25 @@ mod tests {
         let rcu = Rcu::new();
         rcu.barrier();
         assert_eq!(rcu.callback_backlog(), 0);
+    }
+
+    #[test]
+    fn injected_stalls_delay_but_do_not_block_grace_periods() {
+        use pbs_fault::{site, FaultInjector, Schedule};
+        let faults = Arc::new(FaultInjector::new(17));
+        // Refuse the first 20 advance attempts, then let progress resume:
+        // synchronize must still terminate, and the stalls must be counted.
+        for n in 1..=20 {
+            faults.schedule(site::RCU_ADVANCE, Schedule::Nth(n));
+        }
+        let rcu = Rcu::with_config(
+            RcuConfig::eager().with_fault_injector(Arc::clone(&faults)),
+        );
+        rcu.synchronize();
+        let stats = rcu.stats();
+        assert_eq!(stats.injected_gp_stalls, 20);
+        assert!(stats.gp_advances >= 2, "grace period completed after stalls");
+        assert!(faults.calls(site::RCU_ADVANCE) > 20);
     }
 
     #[test]

@@ -58,3 +58,17 @@ pub use callback::RcuConfig;
 pub use domain::{ReadGuard, Rcu, RcuThread};
 pub use epoch::GpState;
 pub use stats::RcuStats;
+
+/// Forces every domain in this process onto the portable fallback barrier
+/// protocol (readers fence themselves; no `membarrier(2)` dependence), as
+/// if the kernel lacked `MEMBARRIER_CMD_PRIVATE_EXPEDITED`.
+///
+/// The barrier strategy is decided once per process and never changes, so
+/// this only succeeds when called **before** any read lock or grace-period
+/// advance. Returns `true` if the process is now in fallback mode; `false`
+/// means the asymmetric protocol was already locked in and the call had no
+/// effect. Intended for chaos/fault-injection harnesses that must exercise
+/// the fallback fence pairing on kernels where membarrier works.
+pub fn force_membarrier_fallback() -> bool {
+    membarrier::force_fallback()
+}

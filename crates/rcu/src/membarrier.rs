@@ -66,6 +66,18 @@ fn decide() -> bool {
     }
 }
 
+/// Forces the fallback (symmetric-fence) protocol for the whole process,
+/// for fault-injection and portability testing. Returns `true` if the
+/// process is now in fallback mode; `false` means the asymmetric protocol
+/// was already decided (readers are eliding fences, so flipping would be
+/// unsound — the decision is immutable once made).
+pub(crate) fn force_fallback() -> bool {
+    match STRATEGY.compare_exchange(UNDECIDED, FALLBACK, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => true,
+        Err(prev) => prev == FALLBACK,
+    }
+}
+
 /// The advancer's side of the asymmetric bargain: a process-wide expedited
 /// barrier, issued after its own `SeqCst` fence and before the registry
 /// scan. A no-op in fallback mode (readers already fence themselves).

@@ -17,6 +17,9 @@ pub(crate) struct StatsInner {
     /// Epoch advances decided on the portable path (readers fence
     /// themselves; `heavy_barrier` is a no-op).
     pub(crate) fallback_fence_advances: AtomicU64,
+    /// Advance attempts refused because an injected fault (site
+    /// `rcu.advance`) stalled the grace period.
+    pub(crate) injected_gp_stalls: AtomicU64,
     enqueued: AtomicU64,
     processed: AtomicU64,
     max_backlog: AtomicUsize,
@@ -67,6 +70,7 @@ impl StatsInner {
             synchronize_calls: self.synchronize_calls.load(Ordering::Relaxed),
             membarrier_advances: self.membarrier_advances.load(Ordering::Relaxed),
             fallback_fence_advances: self.fallback_fence_advances.load(Ordering::Relaxed),
+            injected_gp_stalls: self.injected_gp_stalls.load(Ordering::Relaxed),
             callbacks_enqueued: self.enqueued.load(Ordering::Relaxed),
             callbacks_processed: self.processed.load(Ordering::Relaxed),
             callback_backlog: backlog,
@@ -105,6 +109,10 @@ pub struct RcuStats {
     /// Advances decided on the portable fallback path (readers issue their
     /// own publication fence).
     pub fallback_fence_advances: u64,
+    /// Grace-period advance attempts refused by injected faults (fault
+    /// site `rcu.advance`); stays zero without a
+    /// [`fault_injector`](crate::RcuConfig::fault_injector).
+    pub injected_gp_stalls: u64,
     /// Callbacks ever queued with `call_rcu`.
     pub callbacks_enqueued: u64,
     /// Callbacks that have run.

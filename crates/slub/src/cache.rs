@@ -1,5 +1,6 @@
 //! The baseline slab cache.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use crossbeam::utils::CachePadded;
@@ -49,6 +50,9 @@ pub struct SlubCache {
     cpu_caches: Vec<CachePadded<Mutex<Vec<ObjPtr>>>>,
     node: Mutex<Node>,
     stats: CacheStats,
+    /// Objects handed to `free_deferred` whose RCU callback has not yet
+    /// returned them to a CPU cache.
+    deferred_pending: AtomicUsize,
     weak_self: Weak<SlubCache>,
 }
 
@@ -89,6 +93,7 @@ impl SlubCache {
                 .collect(),
             node: Mutex::new(Node::default()),
             stats: CacheStats::new(ncpus),
+            deferred_pending: AtomicUsize::new(0),
             weak_self: weak_self.clone(),
         })
     }
@@ -155,8 +160,14 @@ impl SlubCache {
         (home, self.cpu_caches[home].lock())
     }
 
-    /// Refills a CPU object cache from node slabs, growing if needed.
-    fn refill(&self, cpu_idx: usize, cache: &mut Vec<ObjPtr>) -> Result<(), AllocError> {
+    /// Refills a CPU object cache from node slabs, growing if needed, and
+    /// returns the object the caller asked for.
+    ///
+    /// `Ok` carries an object out of the refilled cache, so the caller
+    /// never has to pop-and-hope; every failure — including injected
+    /// page-allocator faults — surfaces as `Err`, never a panic, and the
+    /// `parking_lot` locks held here cannot be poisoned by an unwind.
+    fn refill(&self, cpu_idx: usize, cache: &mut Vec<ObjPtr>) -> Result<ObjPtr, AllocError> {
         self.stats.shard(cpu_idx).refills.bump();
         let want = self.policy.object_cache_size;
         let mut node = self.lock_node();
@@ -173,8 +184,8 @@ impl SlubCache {
                 None => match self.grow(&mut node) {
                     Ok(index) => index,
                     // Out of pages: partial refills are still usable.
-                    Err(e) if cache.is_empty() && remaining == want => return Err(e.into()),
-                    Err(_) => break,
+                    Err(_) if !cache.is_empty() => break,
+                    Err(e) => return Err(e.into()),
                 },
             };
             let slab = node.slab_mut(slab_index);
@@ -186,14 +197,19 @@ impl SlubCache {
             };
             node.lists.move_to(slab_index, kind);
         }
-        Ok(())
+        match cache.pop() {
+            Some(obj) => Ok(obj),
+            None => Err(AllocError::OutOfMemory),
+        }
     }
 
     /// Allocates a new slab from the page allocator.
     fn grow(&self, node: &mut Node) -> Result<usize, pbs_mem::OutOfMemory> {
-        let block = self
-            .pages
-            .allocate_aligned(self.policy.slab_bytes, self.policy.slab_bytes)?;
+        let block = self.pages.allocate_aligned_at(
+            self.policy.slab_bytes,
+            self.policy.slab_bytes,
+            pbs_fault::site::SLUB_GROW,
+        )?;
         let index = node.free_slots.pop().unwrap_or(node.slabs.len());
         let color = node.next_color;
         node.next_color = node.next_color.wrapping_add(1);
@@ -261,6 +277,7 @@ impl SlubCache {
         } else {
             // RCU callback returning a deferred object: this is the moment
             // the baseline makes it reusable. Slot lock held → lane owned.
+            self.deferred_pending.fetch_sub(1, Ordering::Relaxed);
             self.stats.ring.record(
                 cpu_idx,
                 EventKind::DeferredReusable,
@@ -288,8 +305,7 @@ impl ObjectAllocator for SlubCache {
             shard.live_delta.bump_add();
             return Ok(obj);
         }
-        self.refill(cpu_idx, &mut cache)?;
-        let obj = cache.pop().expect("refill produced at least one object");
+        let obj = self.refill(cpu_idx, &mut cache)?;
         shard.live_delta.bump_add();
         Ok(obj)
     }
@@ -310,6 +326,7 @@ impl ObjectAllocator for SlubCache {
             let shard = self.stats.shard(cpu_idx);
             shard.deferred_frees.bump();
             shard.live_delta.bump_sub();
+            self.deferred_pending.fetch_add(1, Ordering::Relaxed);
             self.stats.ring.record(
                 cpu_idx,
                 EventKind::DeferredFree,
@@ -356,6 +373,10 @@ impl ObjectAllocator for SlubCache {
 
     fn quiesce(&self) {
         self.rcu.barrier();
+    }
+
+    fn deferred_outstanding(&self) -> usize {
+        self.deferred_pending.load(Ordering::Relaxed)
     }
 }
 
@@ -539,6 +560,38 @@ mod tests {
         for o in objs {
             unsafe { c.free(o) };
         }
+    }
+
+    #[test]
+    fn deferred_outstanding_drains_on_quiesce() {
+        let (c, _p, _r) = cache(64);
+        assert_eq!(c.deferred_outstanding(), 0);
+        let objs: Vec<ObjPtr> = (0..10).map(|_| c.allocate().unwrap()).collect();
+        for o in objs {
+            unsafe { c.free_deferred(o) };
+        }
+        assert_eq!(c.deferred_outstanding(), 10);
+        c.quiesce();
+        assert_eq!(c.deferred_outstanding(), 0);
+    }
+
+    #[test]
+    fn injected_grow_fault_propagates_as_err() {
+        use pbs_fault::{site, FaultInjector, Schedule};
+        let faults = Arc::new(FaultInjector::new(1));
+        faults.schedule(site::SLUB_GROW, Schedule::EveryKth(1));
+        let pages = Arc::new(
+            PageAllocator::builder()
+                .fault_injector(Arc::clone(&faults))
+                .build(),
+        );
+        let rcu = Arc::new(Rcu::with_config(pbs_rcu::RcuConfig::eager()));
+        let c = SlubCache::new("t", 64, 1, pages, rcu);
+        // A fresh cache has nothing cached, so the very first allocation
+        // must reach grow, hit the blackout, and report OOM — not panic.
+        assert_eq!(c.allocate(), Err(AllocError::OutOfMemory));
+        assert!(faults.injected(site::SLUB_GROW) >= 1);
+        assert_eq!(c.stats().live_objects, 0);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Chaos runner: fault-injected churn over both allocators with fixed
+//! seeds, exiting non-zero if any robustness invariant is violated.
+//!
+//! ```text
+//! chaos [--seeds 1,2,3] [--threads N] [--ops N] [--keys N]
+//!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]
+//! ```
+//!
+//! The process forces the RCU membarrier fallback before any domain is
+//! built, so every grace period in the run also exercises the fallback
+//! fence protocol (the unlucky-kernel path CI would otherwise never take).
+
+use pbs_workloads::chaos::{run_chaos, ChaosParams};
+use pbs_workloads::AllocatorKind;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("chaos: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: Vec<u64> = flag_value(&args, "--seeds")
+        .unwrap_or_else(|| "1,2,3".into())
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("chaos: invalid seed: {s}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let base = ChaosParams::default();
+    let template = ChaosParams {
+        threads: parse(&args, "--threads", base.threads),
+        ops_per_thread: parse(&args, "--ops", base.ops_per_thread),
+        keys: parse(&args, "--keys", base.keys),
+        limit_bytes: parse(&args, "--limit-mb", base.limit_bytes >> 20) << 20,
+        grow_fault_p: parse(&args, "--grow-p", base.grow_fault_p),
+        stall_fault_p: parse(&args, "--stall-p", base.stall_fault_p),
+        ..base
+    };
+    let json = args.iter().any(|a| a == "--json");
+
+    // Own-process decision: force the fallback fence protocol so the run
+    // covers the no-membarrier path. Must happen before any Rcu is built.
+    if !pbs_rcu::force_membarrier_fallback() {
+        eprintln!("chaos: membarrier strategy already decided; cannot force fallback");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for &seed in &seeds {
+        let params = ChaosParams { seed, ..template.clone() };
+        for kind in AllocatorKind::BOTH {
+            let mut report = run_chaos(kind, &params);
+            if report.membarrier_advances != 0 {
+                report.violations.push(format!(
+                    "{} membarrier advances despite forced fallback",
+                    report.membarrier_advances
+                ));
+            }
+            if report.fallback_fence_advances == 0 {
+                report
+                    .violations
+                    .push("fallback fence protocol never ran".into());
+            }
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string(&report).expect("serialize report")
+                );
+            } else {
+                println!("{}", report.render());
+                for v in &report.violations {
+                    println!("  violation: {v}");
+                }
+            }
+            failed |= !report.passed();
+        }
+    }
+    if failed {
+        eprintln!("chaos: invariant violations detected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Chaos harness: churn workloads under injected faults and stalled
+//! readers, asserting the paper's robustness invariants at quiesce.
+//!
+//! The paper's claim that Prudence *waits on deferred objects instead of
+//! failing* under memory pressure (Algorithm lines 31–33) is precisely the
+//! behaviour ordinary benchmarks never reach. This module reaches it on
+//! purpose: tree/hashmap churn plus raw alloc/free/defer traffic runs with
+//! a seeded [`FaultInjector`] failing slab grows and stalling grace-period
+//! advances, while a dedicated thread keeps pinning read-side critical
+//! sections so reclamation is starved even as `free_deferred` traffic
+//! continues. At the end the harness checks, for either allocator:
+//!
+//! * every injected fault surfaced as an `Err` or was absorbed by a
+//!   documented recovery path — never a panic (`parking_lot` locks cannot
+//!   poison, and the run counts worker panics directly);
+//! * no object was handed out twice while live (a double merge of latent
+//!   caches would mint duplicates);
+//! * after quiesce, `deferred_outstanding == 0` and no live objects remain;
+//! * the page allocator's `limit_bytes` was never exceeded (`peak <=
+//!   limit`, guaranteed by the compare-exchange reserve) and `used_bytes`
+//!   returns to zero once the caches are dropped.
+//!
+//! Runs are replayable: all fault decisions derive from the seed, so a
+//! failing seed can be handed to `--bin chaos` and reproduced.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pbs_alloc_api::ObjPtr;
+use pbs_fault::{site, FaultInjector, Schedule};
+use pbs_rcu::RcuConfig;
+use pbs_structs::{RcuBst, RcuHashMap};
+
+use crate::{AllocatorKind, Testbed};
+
+/// Parameters for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosParams {
+    /// Worker threads (also the testbed CPU-slot count).
+    pub threads: usize,
+    /// Operations per worker.
+    pub ops_per_thread: u64,
+    /// Key range for the tree/hashmap churn.
+    pub keys: u64,
+    /// Seed for both the fault injector and every worker RNG.
+    pub seed: u64,
+    /// Hard memory limit for the run.
+    pub limit_bytes: usize,
+    /// Probability of an injected OOM per slab-grow attempt.
+    pub grow_fault_p: f64,
+    /// Probability of an injected stall per grace-period-advance attempt.
+    pub stall_fault_p: f64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 4_000,
+            keys: 128,
+            seed: 1,
+            limit_bytes: 8 << 20,
+            grow_fault_p: 0.05,
+            stall_fault_p: 0.10,
+        }
+    }
+}
+
+/// Outcome of one chaos run; `violations` is empty iff every invariant
+/// held.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Allocator label.
+    pub allocator: String,
+    /// The seed the run (and any replay) used.
+    pub seed: u64,
+    /// Operations completed across all workers.
+    pub ops_completed: u64,
+    /// `AllocError` results observed by workers (limit OOMs + injected).
+    pub oom_errors: u64,
+    /// Faults injected at the slab-grow sites.
+    pub injected_oom: u64,
+    /// Grace-period advances refused by injection.
+    pub injected_gp_stalls: u64,
+    /// Worker panics (must be zero).
+    pub panics: u64,
+    /// Peak page-allocator usage during the run.
+    pub peak_bytes: usize,
+    /// The hard limit in force.
+    pub limit_bytes: usize,
+    /// `deferred_outstanding` across caches after quiesce (must be zero).
+    pub deferred_outstanding_end: usize,
+    /// Page-allocator bytes still out after caches were dropped (must be
+    /// zero — the baseline the run must return to).
+    pub used_bytes_after_teardown: usize,
+    /// Grace-period advances that used the membarrier protocol.
+    pub membarrier_advances: u64,
+    /// Grace-period advances that used the fallback-fence protocol.
+    pub fallback_fence_advances: u64,
+    /// Invariant violations; empty on a passing run.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn render(&self) -> String {
+        format!(
+            "chaos[{} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
+             peak {}/{} KiB, {} panics — {}",
+            self.allocator,
+            self.seed,
+            self.ops_completed,
+            self.oom_errors,
+            self.injected_oom,
+            self.injected_gp_stalls,
+            self.peak_bytes >> 10,
+            self.limit_bytes >> 10,
+            self.panics,
+            if self.passed() { "OK" } else { "FAILED" },
+        )
+    }
+}
+
+/// Per-worker tally, merged into the report after the join.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    ops: u64,
+    ooms: u64,
+    violations: Vec<String>,
+}
+
+/// Runs the chaos workload on one allocator and checks every invariant.
+pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
+    let faults = Arc::new(FaultInjector::new(params.seed));
+    let grow_site = match kind {
+        AllocatorKind::Slub => site::SLUB_GROW,
+        AllocatorKind::Prudence => site::PRUDENCE_GROW,
+    };
+    faults.schedule(grow_site, Schedule::Probability(params.grow_fault_p));
+    faults.schedule(site::RCU_ADVANCE, Schedule::Probability(params.stall_fault_p));
+
+    let bed = Testbed::new_with_faults(
+        kind,
+        params.threads,
+        RcuConfig::eager(),
+        Some(params.limit_bytes),
+        Some(Arc::clone(&faults)),
+    );
+    let node_cache = bed.create_cache("chaos_node", 64);
+    let obj_cache = bed.create_cache("chaos_obj", 128);
+
+    // Live-object registry shared by all workers: allocate must never hand
+    // out an address that another holder still owns (a latent-cache double
+    // merge would do exactly that).
+    let live: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut ops_completed = 0u64;
+    let mut oom_errors = 0u64;
+    let mut panics = 0u64;
+
+    let stop_staller = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Stalled reader: pins read-side critical sections in long pulses,
+        // starving grace-period advance while free_deferred traffic from
+        // the workers keeps arriving. Pulses (not one endless pin) keep the
+        // run's quiesce reachable.
+        let staller = {
+            let rcu = Arc::clone(bed.rcu());
+            let stop = Arc::clone(&stop_staller);
+            s.spawn(move || {
+                let reader = rcu.register();
+                while !stop.load(Ordering::Relaxed) {
+                    let guard = reader.read_lock();
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(guard);
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..params.threads)
+            .map(|tid| {
+                let node_cache = Arc::clone(&node_cache);
+                let obj_cache = Arc::clone(&obj_cache);
+                let live = Arc::clone(&live);
+                let rcu = Arc::clone(bed.rcu());
+                let params = params.clone();
+                s.spawn(move || {
+                    let mut tally = WorkerTally::default();
+                    let mut rng = StdRng::seed_from_u64(params.seed ^ (tid as u64) << 32);
+                    let reader = rcu.register();
+                    let tree: RcuBst<u64> = RcuBst::new(Arc::clone(&node_cache));
+                    let map: RcuHashMap<u64, u64> = RcuHashMap::new(node_cache, 32);
+                    let mut held: Vec<ObjPtr> = Vec::new();
+                    for i in 0..params.ops_per_thread {
+                        tally.ops += 1;
+                        match rng.gen_range(0..10u32) {
+                            // Raw allocation, held for later free/defer.
+                            0..=2 => match obj_cache.allocate() {
+                                Ok(obj) => {
+                                    if !live.lock().insert(obj.addr()) {
+                                        tally.violations.push(format!(
+                                            "double handout of {:#x} (latent double merge?)",
+                                            obj.addr()
+                                        ));
+                                    }
+                                    held.push(obj);
+                                }
+                                Err(_) => tally.ooms += 1,
+                            },
+                            // Immediate free.
+                            3 => {
+                                if let Some(obj) = held.pop() {
+                                    live.lock().remove(&obj.addr());
+                                    unsafe { obj_cache.free(obj) };
+                                }
+                            }
+                            // Deferred free — the traffic that must keep
+                            // flowing while readers stall reclamation.
+                            4..=5 => {
+                                if !held.is_empty() {
+                                    let obj = held.swap_remove(rng.gen_range(0..held.len()));
+                                    live.lock().remove(&obj.addr());
+                                    unsafe { obj_cache.free_deferred(obj) };
+                                }
+                            }
+                            // Tree churn: multi-deferral amplification.
+                            6..=7 => {
+                                let k = rng.gen_range(0..params.keys);
+                                tree.remove(k);
+                                if tree.insert(k, i).is_err() {
+                                    tally.ooms += 1;
+                                }
+                            }
+                            // Hashmap churn.
+                            8 => {
+                                let k = rng.gen_range(0..params.keys);
+                                map.remove(&k);
+                                if map.insert(k, i).is_err() {
+                                    tally.ooms += 1;
+                                }
+                            }
+                            // Read-side traversal. No allocation happens
+                            // under the guard: an alloc could wait on a
+                            // grace period this pin is blocking.
+                            _ => {
+                                let guard = reader.read_lock();
+                                let k = rng.gen_range(0..params.keys);
+                                let _ = tree.lookup(&guard, k);
+                                let _ = map.get(&guard, &k);
+                            }
+                        }
+                    }
+                    for obj in held.drain(..) {
+                        live.lock().remove(&obj.addr());
+                        unsafe { obj_cache.free(obj) };
+                    }
+                    tally
+                })
+            })
+            .collect();
+
+        for worker in workers {
+            match worker.join() {
+                Ok(tally) => {
+                    ops_completed += tally.ops;
+                    oom_errors += tally.ooms;
+                    violations.extend(tally.violations);
+                }
+                Err(_) => panics += 1,
+            }
+        }
+        stop_staller.store(true, Ordering::Relaxed);
+        if staller.join().is_err() {
+            panics += 1;
+        }
+    });
+
+    // Quiesce with the staller gone: every deferred object must drain.
+    node_cache.quiesce();
+    obj_cache.quiesce();
+    let deferred_outstanding_end =
+        node_cache.deferred_outstanding() + obj_cache.deferred_outstanding();
+    if deferred_outstanding_end != 0 {
+        violations.push(format!(
+            "deferred_outstanding {deferred_outstanding_end} != 0 after quiesce"
+        ));
+    }
+    for cache in [&node_cache, &obj_cache] {
+        let stats = cache.stats();
+        if stats.live_objects != 0 {
+            violations.push(format!(
+                "{}: {} live objects after teardown",
+                cache.name(),
+                stats.live_objects
+            ));
+        }
+    }
+    if !live.lock().is_empty() {
+        violations.push(format!(
+            "{} addresses still marked live after frees",
+            live.lock().len()
+        ));
+    }
+    if panics != 0 {
+        violations.push(format!("{panics} worker panics"));
+    }
+
+    let peak_bytes = bed.pages().peak_bytes();
+    if peak_bytes > params.limit_bytes {
+        violations.push(format!(
+            "hard limit exceeded: peak {} > limit {}",
+            peak_bytes, params.limit_bytes
+        ));
+    }
+    // The background grace-period driver keeps consulting the injector
+    // while we read, so the two counters can't be compared for equality.
+    // The domain bumps its stat strictly *after* the injector records the
+    // hit, so sampling stats first guarantees stats <= injector.
+    let rcu_stats = bed.rcu().stats();
+    let injected_oom = faults.injected(grow_site);
+    if rcu_stats.injected_gp_stalls > faults.injected(site::RCU_ADVANCE) {
+        violations.push(format!(
+            "gp stall accounting disagrees: stats {} > injector {}",
+            rcu_stats.injected_gp_stalls,
+            faults.injected(site::RCU_ADVANCE)
+        ));
+    }
+    // Every injected OOM must be observable: either a worker saw the Err,
+    // or an allocator recovery path (partial refill, emergency reclaim of
+    // deferred objects) absorbed it — in which case the allocator performed
+    // extra refill work we can't biject to faults. What is *never* allowed
+    // is a panic, which is counted above.
+    if injected_oom > 0 && oom_errors == 0 {
+        let stats = node_cache.stats();
+        let absorbed = stats.refills + obj_cache.stats().refills;
+        if absorbed == 0 {
+            violations.push(format!(
+                "{injected_oom} injected OOMs left no trace (no Err, no refill activity)"
+            ));
+        }
+    }
+
+    // Baseline check: drop the caches and every page must come home.
+    drop(node_cache);
+    drop(obj_cache);
+    let used_bytes_after_teardown = bed.pages().used_bytes();
+    if used_bytes_after_teardown != 0 {
+        violations.push(format!(
+            "{used_bytes_after_teardown} bytes leaked after cache teardown"
+        ));
+    }
+
+    ChaosReport {
+        allocator: kind.label().to_owned(),
+        seed: params.seed,
+        ops_completed,
+        oom_errors,
+        injected_oom,
+        injected_gp_stalls: rcu_stats.injected_gp_stalls,
+        panics,
+        peak_bytes,
+        limit_bytes: params.limit_bytes,
+        deferred_outstanding_end,
+        used_bytes_after_teardown,
+        membarrier_advances: rcu_stats.membarrier_advances,
+        fallback_fence_advances: rcu_stats.fallback_fence_advances,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_invariants_hold_for_both_allocators() {
+        let params = ChaosParams {
+            threads: 2,
+            ops_per_thread: 1_500,
+            seed: 7,
+            ..ChaosParams::default()
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(report.passed(), "{}", report.render());
+            assert!(report.ops_completed > 0);
+            assert!(
+                report.injected_gp_stalls > 0,
+                "{kind}: stall schedule never fired"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_faults_surface_without_panicking() {
+        // Aggressive fault rates: a third of grows fail, half of advances
+        // stall. The run must still terminate cleanly with zero panics.
+        let params = ChaosParams {
+            threads: 2,
+            ops_per_thread: 1_000,
+            seed: 23,
+            grow_fault_p: 0.33,
+            stall_fault_p: 0.5,
+            ..ChaosParams::default()
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(report.passed(), "{}", report.render());
+            assert!(report.injected_oom > 0, "{kind}: grow faults never fired");
+            assert_eq!(report.panics, 0);
+        }
+    }
+}

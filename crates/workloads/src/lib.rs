@@ -10,6 +10,7 @@
 //! | [`microbench`] | Figure 6 — kmalloc/kfree_deferred pairs per second by object size |
 //! | [`apps`] | Figures 7–13 — Postmark / Netperf / Apache / PostgreSQL emulations |
 //! | [`tree_churn`] | extension: §3.1 multi-deferral amplification on an RCU tree |
+//! | [`chaos`] | extension: fault-injected churn asserting OOM/stall robustness invariants |
 //! | [`figures`] | orchestration + paper-style table rendering |
 //!
 //! Every driver runs unchanged over both allocators via [`Testbed`], so a
@@ -18,6 +19,7 @@
 
 pub mod alloc_cost;
 pub mod apps;
+pub mod chaos;
 pub mod endurance;
 pub mod figures;
 pub mod microbench;

@@ -45,6 +45,12 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
     );
     counter(
         &mut out,
+        "pbs_rcu_injected_gp_stalls_total",
+        "",
+        r.injected_gp_stalls,
+    );
+    counter(
+        &mut out,
         "pbs_rcu_callbacks_enqueued_total",
         "",
         r.callbacks_enqueued,

@@ -75,12 +75,32 @@ impl Testbed {
     pub fn new(
         kind: AllocatorKind,
         ncpus: usize,
+        rcu_config: RcuConfig,
+        limit_bytes: Option<usize>,
+    ) -> Self {
+        Self::new_with_faults(kind, ncpus, rcu_config, limit_bytes, None)
+    }
+
+    /// [`new`](Self::new) plus a fault injector threaded through the whole
+    /// stack: the page allocator consults it on every block allocation and
+    /// the RCU domain on every grace-period-advance attempt, so one seeded
+    /// plan drives OOM and stall faults across every layer of the run.
+    pub fn new_with_faults(
+        kind: AllocatorKind,
+        ncpus: usize,
         mut rcu_config: RcuConfig,
         limit_bytes: Option<usize>,
+        faults: Option<Arc<pbs_fault::FaultInjector>>,
     ) -> Self {
         let mut builder = PageAllocator::builder();
         if let Some(limit) = limit_bytes {
             builder = builder.limit_bytes(limit);
+        }
+        if let Some(faults) = &faults {
+            builder = builder.fault_injector(Arc::clone(faults));
+            if rcu_config.fault_injector.is_none() {
+                rcu_config = rcu_config.with_fault_injector(Arc::clone(faults));
+            }
         }
         let pages = Arc::new(builder.build());
         // As in the kernel, RCU reacts to memory pressure by expediting

@@ -3,6 +3,7 @@
 //! Re-exports the building blocks of the Prudence (ASPLOS '16) reproduction
 //! so examples and integration tests can use one import path.
 //!
+//! * [`fault`] — deterministic fault injection for OOM/stall paths
 //! * [`mem`] — page allocator substrate
 //! * [`rcu`] — epoch-based RCU synchronization
 //! * [`alloc_api`] — shared allocator traits and statistics
@@ -13,6 +14,7 @@
 //! * [`workloads`] — benchmark drivers regenerating the paper's figures
 
 pub use pbs_alloc_api as alloc_api;
+pub use pbs_fault as fault;
 pub use pbs_mem as mem;
 pub use pbs_rcu as rcu;
 pub use pbs_simfs as simfs;
