@@ -181,6 +181,19 @@ pub struct CacheStats {
     pub slabs_current: AtomicUsize,
     /// Peak of `slabs_current`.
     pub slabs_peak: AtomicUsize,
+    /// Deferred-backlog pressure level (gauge): 0 = nominal, 1 = soft
+    /// watermark crossed, 2 = hard watermark crossed. Maintained by
+    /// [`update_pressure`](Self::update_pressure).
+    pub pressure_level: AtomicUsize,
+    /// Pressure-level transitions, either direction.
+    pub pressure_transitions: AtomicU64,
+    /// Caller-assisted reclaim passes run by freeing threads while at the
+    /// hard pressure level.
+    pub assisted_merges: AtomicU64,
+    /// Successful OOM-ladder recoveries attributed to each rung (index 0 =
+    /// stage 1 local flush, 1 = stage 2 expedited GP + merge, 2 = stage 3
+    /// backoff retry). Cold: one bump per recovered allocation.
+    pub oom_recoveries: [AtomicU64; 3],
 }
 
 impl Default for CacheStats {
@@ -208,7 +221,52 @@ impl CacheStats {
             oom_waits: AtomicU64::new(0),
             slabs_current: AtomicUsize::new(0),
             slabs_peak: AtomicUsize::new(0),
+            pressure_level: AtomicUsize::new(0),
+            pressure_transitions: AtomicU64::new(0),
+            assisted_merges: AtomicU64::new(0),
+            oom_recoveries: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         }
+    }
+
+    /// Publishes the deferred-backlog pressure level implied by
+    /// `outstanding` against the `soft`/`hard` watermarks. Returns
+    /// `Some((from, to))` when this caller won the transition (so exactly
+    /// one racing thread runs any transition side effect), `None` when the
+    /// level is unchanged or another thread transitioned first.
+    pub fn update_pressure(
+        &self,
+        outstanding: usize,
+        soft: usize,
+        hard: usize,
+    ) -> Option<(usize, usize)> {
+        let new = if outstanding >= hard {
+            2
+        } else if outstanding >= soft {
+            1
+        } else {
+            0
+        };
+        let old = self.pressure_level.load(Ordering::Relaxed);
+        if new == old {
+            return None;
+        }
+        if self
+            .pressure_level
+            .compare_exchange(old, new, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.pressure_transitions.fetch_add(1, Ordering::Relaxed);
+            Some((old, new))
+        } else {
+            None
+        }
+    }
+
+    /// Counts a successful OOM-ladder recovery attributed to `stage`
+    /// (1-based; stages past the ladder clamp to the last rung).
+    pub fn record_oom_recovery(&self, stage: usize) {
+        let idx = stage.saturating_sub(1).min(self.oom_recoveries.len() - 1);
+        self.oom_recoveries[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Process-unique id for this cache (stamped into trace events).
@@ -294,6 +352,12 @@ impl CacheStats {
             oom_waits: self.oom_waits.load(Ordering::Relaxed),
             slabs_current: self.slabs_current.load(Ordering::Relaxed),
             slabs_peak: self.slabs_peak.load(Ordering::Relaxed),
+            pressure_level: self.pressure_level.load(Ordering::Relaxed),
+            pressure_transitions: self.pressure_transitions.load(Ordering::Relaxed),
+            assisted_merges: self.assisted_merges.load(Ordering::Relaxed),
+            oom_recoveries_stage1: self.oom_recoveries[0].load(Ordering::Relaxed),
+            oom_recoveries_stage2: self.oom_recoveries[1].load(Ordering::Relaxed),
+            oom_recoveries_stage3: self.oom_recoveries[2].load(Ordering::Relaxed),
             ..CacheStatsSnapshot::default()
         };
         let mut live = 0i64;
@@ -372,6 +436,19 @@ pub struct CacheStatsSnapshot {
     pub slabs_peak: usize,
     /// Live (requested) objects at snapshot time.
     pub live_objects: u64,
+    /// Deferred-backlog pressure level at snapshot time (0 = nominal,
+    /// 1 = soft, 2 = hard).
+    pub pressure_level: usize,
+    /// Pressure-level transitions, either direction.
+    pub pressure_transitions: u64,
+    /// Caller-assisted reclaim passes at the hard pressure level.
+    pub assisted_merges: u64,
+    /// OOM recoveries via ladder stage 1 (local latent flush).
+    pub oom_recoveries_stage1: u64,
+    /// OOM recoveries via ladder stage 2 (expedited GP + full merge).
+    pub oom_recoveries_stage2: u64,
+    /// OOM recoveries via ladder stage 3 (backoff retry).
+    pub oom_recoveries_stage3: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -399,6 +476,11 @@ impl CacheStatsSnapshot {
     /// Total frees of any kind.
     pub fn total_frees(&self) -> u64 {
         self.frees + self.deferred_frees
+    }
+
+    /// Allocations that recovered from OOM via any ladder stage.
+    pub fn oom_recoveries_total(&self) -> u64 {
+        self.oom_recoveries_stage1 + self.oom_recoveries_stage2 + self.oom_recoveries_stage3
     }
 
     /// Percentage of frees that were deferred (Figure 12).
@@ -442,6 +524,13 @@ impl CacheStatsSnapshot {
         self.slabs_current += other.slabs_current;
         self.slabs_peak += other.slabs_peak;
         self.live_objects += other.live_objects;
+        // The merged pressure level is the worst of the two gauges.
+        self.pressure_level = self.pressure_level.max(other.pressure_level);
+        self.pressure_transitions += other.pressure_transitions;
+        self.assisted_merges += other.assisted_merges;
+        self.oom_recoveries_stage1 += other.oom_recoveries_stage1;
+        self.oom_recoveries_stage2 += other.oom_recoveries_stage2;
+        self.oom_recoveries_stage3 += other.oom_recoveries_stage3;
     }
 }
 

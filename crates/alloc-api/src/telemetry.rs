@@ -75,6 +75,11 @@ impl TelemetrySnapshot {
         self.rcu.synchronize_calls += other.rcu.synchronize_calls;
         self.rcu.membarrier_advances += other.rcu.membarrier_advances;
         self.rcu.fallback_fence_advances += other.rcu.fallback_fence_advances;
+        self.rcu.injected_gp_stalls += other.rcu.injected_gp_stalls;
+        self.rcu.stall_warnings += other.rcu.stall_warnings;
+        self.rcu.longest_stall_ns = self.rcu.longest_stall_ns.max(other.rcu.longest_stall_ns);
+        self.rcu.active_stalls += other.rcu.active_stalls;
+        self.rcu.expedited_gps += other.rcu.expedited_gps;
         self.rcu.callbacks_enqueued += other.rcu.callbacks_enqueued;
         self.rcu.callbacks_processed += other.rcu.callbacks_processed;
         self.rcu.callback_backlog += other.rcu.callback_backlog;
@@ -130,6 +135,27 @@ mod tests {
             telemetry: ComponentTelemetry::default(),
         });
         snap
+    }
+
+    #[test]
+    fn merge_folds_every_rcu_counter() {
+        let mut a = sample();
+        a.rcu.injected_gp_stalls = 1;
+        a.rcu.stall_warnings = 2;
+        a.rcu.longest_stall_ns = 500;
+        a.rcu.expedited_gps = 3;
+        let mut b = sample();
+        b.rcu.injected_gp_stalls = 4;
+        b.rcu.stall_warnings = 1;
+        b.rcu.longest_stall_ns = 900;
+        b.rcu.active_stalls = 1;
+        b.rcu.expedited_gps = 2;
+        a.merge(&b);
+        assert_eq!(a.rcu.injected_gp_stalls, 5);
+        assert_eq!(a.rcu.stall_warnings, 3);
+        assert_eq!(a.rcu.longest_stall_ns, 900, "longest stall is a maximum");
+        assert_eq!(a.rcu.active_stalls, 1);
+        assert_eq!(a.rcu.expedited_gps, 5);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! idle_overhead — the graceful-degradation idle-cost guard.
+//!
+//! The stall watchdog, the deferred-backlog pressure governor and the OOM
+//! recovery ladder must be free when nothing is wrong: the watchdog lives
+//! on the grace-period driver thread, the governor runs only on the
+//! deferred-free path, and the ladder only on allocation failure. None of
+//! them may add work to the uncontended allocate/free hit path.
+//!
+//! This guard measures that claim instead of trusting it. It times the
+//! 4-thread alloc/free pair loop twice — once with the machinery **armed**
+//! at its defaults (watchdog threshold 100 ms, stock watermarks) and once
+//! **quiescent** (threshold and watermarks pushed beyond reach) — with
+//! registered-but-unpinned readers present so the watchdog scan has real
+//! records to walk.
+//!
+//! Shared machines drift on timescales of seconds (frequency governors,
+//! noisy neighbours), which swamps a 1% budget if the two modes are
+//! measured in long separate blocks. So the guard measures in short
+//! back-to-back *pairs* (order alternating per rep), computes the relative
+//! delta within each pair — where the machine state is nearly constant —
+//! and reports the median of the per-pair deltas. The run fails (exit 1)
+//! if that median says the armed mode is more than `--max-delta` percent
+//! slower (default 1%).
+//!
+//! Usage:
+//!
+//! ```text
+//! idle_overhead [--threads 4] [--secs 0.15] [--reps 12] [--max-delta 1.0]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::{AllocatorKind, Testbed};
+use prudence::PrudenceConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut threads = 4usize;
+    let mut secs = 0.15f64;
+    let mut reps = 12usize;
+    let mut max_delta = 1.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = parse(args.next(), "--threads"),
+            "--secs" => secs = parse(args.next(), "--secs"),
+            "--reps" => reps = parse(args.next(), "--reps"),
+            "--max-delta" => max_delta = parse(args.next(), "--max-delta"),
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    let duration = Duration::from_secs_f64(secs);
+
+    println!(
+        "idle overhead guard: {threads} threads, {reps}x{secs}s per mode, \
+         prudence 512 B hit path, budget {max_delta}%"
+    );
+
+    // Warm both modes once so neither pays first-touch costs.
+    for armed in [false, true] {
+        measure_pair_loop(threads, duration / 2, armed);
+    }
+    let mut deltas = Vec::new();
+    let mut best_q = f64::INFINITY;
+    let mut best_a = f64::INFINITY;
+    for rep in 0..reps {
+        // Alternate which mode goes first so ordering effects (frequency
+        // ramp, cache warmth) cancel across reps.
+        let (q, a) = if rep % 2 == 0 {
+            let q = measure_pair_loop(threads, duration, false);
+            (q, measure_pair_loop(threads, duration, true))
+        } else {
+            let a = measure_pair_loop(threads, duration, true);
+            (measure_pair_loop(threads, duration, false), a)
+        };
+        best_q = best_q.min(q);
+        best_a = best_a.min(a);
+        deltas.push((a - q) / q * 100.0);
+    }
+    // Each delta compares two back-to-back measurements, so slow machine
+    // drift cancels inside the pair; the median then discards the reps a
+    // preemption or frequency step landed in the middle of.
+    let delta_pct = median(&mut deltas);
+    println!(
+        "  hit path  quiescent {best_q:>8.1} ns/pair   armed {best_a:>8.1} ns/pair   \
+         median paired delta {delta_pct:+.2}%"
+    );
+    if delta_pct > max_delta {
+        eprintln!(
+            "idle_overhead: degradation machinery costs {delta_pct:.2}% on the idle hit \
+             path (budget {max_delta}%)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<String>, flag: &str) -> T {
+    arg.and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a valid value"))
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// One measurement: `threads` workers doing alloc/free pairs on a shared
+/// Prudence cache for `duration`; returns the best observed ns per pair.
+///
+/// Each worker times itself in 64-pair batches and keeps its fastest
+/// batch. A batch (~10 µs) is far shorter than a scheduler timeslice, so
+/// on oversubscribed machines (CI runners, 1-CPU containers) the fastest
+/// batches run preemption-free: the minimum batch time measures the
+/// uncontended hit-path cost, where throughput-over-wall-clock would
+/// mostly measure the scheduler.
+///
+/// `armed` keeps the degradation machinery at its defaults; otherwise the
+/// stall threshold and pressure watermarks are pushed out of reach, making
+/// the machinery as quiescent as it can be without a rebuild.
+fn measure_pair_loop(threads: usize, duration: Duration, armed: bool) -> f64 {
+    // Both modes build byte-identical structures (same calls, same
+    // allocations) so heap layout cannot differ between them — only the
+    // threshold and watermark scalars do.
+    let (threshold, soft, hard) = if armed {
+        (Duration::from_millis(100), 4096, 16384)
+    } else {
+        (Duration::from_secs(3600), usize::MAX / 4, usize::MAX / 4)
+    };
+    let bed = Testbed::new_tuned(
+        AllocatorKind::Prudence,
+        threads,
+        RcuConfig::linux_like().with_stall_threshold(threshold),
+        None,
+        None,
+        None,
+        Some(PrudenceConfig::new(threads).with_watermarks(soft, hard)),
+    );
+    // Registered (never pinned) readers: the watchdog scan on the driver
+    // thread walks real records, as it would in a live system at idle.
+    let readers: Vec<_> = (0..threads).map(|_| bed.rcu().register()).collect();
+    let cache = bed.create_cache("idle-overhead", 512);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    const BATCH: u32 = 64;
+
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut best = u64::MAX;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch_start = Instant::now();
+                    for _ in 0..BATCH {
+                        let obj = cache.allocate().expect("idle-overhead allocation");
+                        // SAFETY: fresh exclusive object, freed exactly once.
+                        unsafe {
+                            obj.as_ptr().cast::<u64>().write(0xBEEF);
+                            cache.free(obj);
+                        }
+                    }
+                    best = best.min(batch_start.elapsed().as_nanos() as u64);
+                }
+                best
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let best = workers
+        .into_iter()
+        .map(|w| w.join().expect("idle-overhead worker panicked"))
+        .min()
+        .unwrap_or(u64::MAX);
+    cache.quiesce();
+    drop(readers);
+    best as f64 / f64::from(BATCH)
+}

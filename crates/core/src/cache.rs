@@ -14,7 +14,7 @@ use pbs_alloc_api::{
     RawSlab, SizingPolicy,
 };
 use pbs_mem::PageAllocator;
-use pbs_rcu::Rcu;
+use pbs_rcu::{GpState, Rcu};
 use pbs_telemetry::EventKind;
 
 use crate::config::PrudenceConfig;
@@ -218,8 +218,55 @@ impl Inner {
 
     fn note_reclaimed(&self, n: usize) {
         if n > 0 {
-            self.deferred_outstanding.fetch_sub(n, Ordering::Relaxed);
+            let prev = self.deferred_outstanding.fetch_sub(n, Ordering::Relaxed);
+            // Downward pressure transitions happen here, as the backlog
+            // drains. Gauge/counter only — no ring event, because reclaim
+            // runs under varying lock contexts and lanes are single-writer.
+            self.update_pressure(prev.saturating_sub(n));
         }
+    }
+
+    /// Folds the current backlog into the pressure gauge. Returns the
+    /// transition if this caller won it (see `CacheStats::update_pressure`).
+    fn update_pressure(&self, outstanding: usize) -> Option<(usize, usize)> {
+        self.stats.update_pressure(
+            outstanding,
+            self.config.soft_watermark,
+            self.config.hard_watermark,
+        )
+    }
+
+    /// Post-defer governor actions, run with no locks held.
+    ///
+    /// An *upward* transition nudges the grace-period machinery once with
+    /// an expedited drive (soft response: the backlog is usually waiting on
+    /// epoch advances, not on CPU time). While the gauge sits at the hard
+    /// level, every freeing thread additionally helps reclaim — the defer
+    /// producers are throttled to the reclaim rate instead of growing the
+    /// backlog without bound.
+    fn apply_backpressure(&self, transition: Option<(usize, usize)>) {
+        if let Some((from, to)) = transition {
+            if to > from {
+                self.rcu.expedite();
+            }
+        }
+        if self.stats.pressure_level.load(Ordering::Relaxed) >= 2 {
+            self.assist_reclaim();
+        }
+    }
+
+    /// Caller-assisted reclaim (hard pressure level): merge this slot's
+    /// grace-period-complete latent objects and sweep the node's pending
+    /// list. Deliberately does *not* block on a grace period — assists must
+    /// stay short since they run on the free path.
+    fn assist_reclaim(&self) {
+        self.stats.assisted_merges.fetch_add(1, Ordering::Relaxed);
+        let (cpu_idx, mut cpu) = self.lock_cpu();
+        self.merge_caches(cpu_idx, &mut cpu, 0);
+        drop(cpu);
+        let epoch = self.rcu.current_epoch();
+        let mut node = self.lock_node();
+        self.note_reclaimed(node.reclaim_pending(epoch));
     }
 
     /// MERGE_CACHES wrapper that maintains the outstanding-deferred count,
@@ -279,6 +326,7 @@ impl Inner {
             if let Some(obj) = cpu.obj_cache.pop() {
                 shard.cache_hits.bump();
                 shard.live_delta.bump_add();
+                self.record_oom_recovery(cpu_idx, attempts);
                 return Ok(obj);
             }
             // Lines 7-11: merge grace-period-complete latent objects and
@@ -287,18 +335,20 @@ impl Inner {
                 if let Some(obj) = cpu.obj_cache.pop() {
                     shard.latent_hits.bump();
                     shard.live_delta.bump_add();
+                    self.record_oom_recovery(cpu_idx, attempts);
                     return Ok(obj);
                 }
             }
             match self.refill(cpu_idx, &mut cpu) {
                 Ok(obj) => {
                     shard.live_delta.bump_add();
+                    self.record_oom_recovery(cpu_idx, attempts);
                     return Ok(obj);
                 }
                 Err(e) => {
-                    // Lines 31-33: wait for deferred objects instead of
-                    // failing, if there are any. Release the CPU lock while
-                    // waiting so writers on this slot can progress.
+                    // Lines 31-33: recover via the ladder instead of
+                    // failing, while deferred objects remain. Release the
+                    // CPU lock first so writers on this slot can progress.
                     drop(cpu);
                     if attempts >= self.config.oom_retries
                         || self.deferred_outstanding.load(Ordering::Relaxed) == 0
@@ -306,10 +356,68 @@ impl Inner {
                         return Err(e);
                     }
                     attempts += 1;
-                    self.emergency_reclaim();
+                    self.run_recovery_stage(attempts);
                 }
             }
         }
+    }
+
+    /// Attributes a successful allocation that needed the OOM ladder to the
+    /// rung that unblocked it (`attempts` = ladder entries so far; 0 = the
+    /// fast path, nothing to record). Caller holds the `cpu_idx` slot lock,
+    /// which owns that trace lane.
+    fn record_oom_recovery(&self, cpu_idx: usize, attempts: usize) {
+        if attempts == 0 {
+            return;
+        }
+        let stage = attempts.min(3);
+        self.stats.record_oom_recovery(stage);
+        self.stats.ring.record(
+            cpu_idx,
+            EventKind::OomRecovery,
+            self.stats.id(),
+            stage as u64,
+            1,
+        );
+    }
+
+    /// One rung of the staged OOM recovery ladder (§4.2, *Handling memory
+    /// pressure*, hardened): escalate from cheap-and-local to
+    /// grace-period-blocking to backoff-and-retry. Every entry counts as an
+    /// `oom_wait` — the ladder only runs when allocation actually failed.
+    fn run_recovery_stage(&self, attempt: usize) {
+        self.stats.oom_waits.fetch_add(1, Ordering::Relaxed);
+        match attempt {
+            // Stage 1: flush this thread's slot without waiting for any
+            // grace period. Often enough when the backlog is merely parked
+            // in the latent cache past its grace period.
+            1 => self.oom_flush_local(),
+            // Stage 2: drive the grace period (expedited) and reclaim
+            // everything reclaimable across all slots.
+            2 => self.emergency_reclaim(true),
+            // Stage 3+: the backlog is waiting on something slower (a
+            // pinned reader, a wedged epoch); back off so it can make
+            // progress, then sweep again.
+            n => {
+                let shift = (n - 3).min(4) as u32;
+                std::thread::sleep(std::time::Duration::from_micros(50 << shift));
+                self.emergency_reclaim(false);
+            }
+        }
+    }
+
+    /// Ladder stage 1: merge and flush this thread's slot and sweep the
+    /// node's pending list at the current epoch — no grace-period wait.
+    fn oom_flush_local(&self) {
+        let (cpu_idx, mut cpu) = self.lock_cpu();
+        self.merge_caches(cpu_idx, &mut cpu, 0);
+        let moved: Vec<LatentEntry> = cpu.latent.drain(..).collect();
+        drop(cpu);
+        self.defer_to_slabs(&moved);
+        let epoch = self.rcu.current_epoch();
+        let mut node = self.lock_node();
+        self.note_reclaimed(node.reclaim_pending(epoch));
+        self.shrink(&mut node);
     }
 
     /// REFILL_OBJECT_CACHE (Algorithm lines 13-30): partial refill sized by
@@ -640,10 +748,14 @@ impl Inner {
     }
 
     /// OOM deferral (lines 31-32): flush latent caches toward slabs, wait
-    /// for a grace period, reclaim everything reclaimable.
-    fn emergency_reclaim(&self) {
-        self.stats.oom_waits.fetch_add(1, Ordering::Relaxed);
-        self.rcu.synchronize();
+    /// for a grace period (`expedited` drives it eagerly), reclaim
+    /// everything reclaimable.
+    fn emergency_reclaim(&self, expedited: bool) {
+        if expedited {
+            self.rcu.synchronize_expedited();
+        } else {
+            self.rcu.synchronize();
+        }
         // Push all per-CPU latent objects to their slabs so the sweep below
         // can free whole slabs.
         for (cpu_idx, state) in self.cpu_states.iter().enumerate() {
@@ -663,9 +775,10 @@ impl Inner {
         self.shrink(&mut node);
     }
 
-    /// FREE_DEFERRED (Algorithm lines 34-51).
+    /// FREE_DEFERRED (Algorithm lines 34-51) plus backlog backpressure.
     fn free_deferred_inner(&self, obj: ObjPtr) {
-        self.deferred_outstanding.fetch_add(1, Ordering::Relaxed);
+        let outstanding = self.deferred_outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        let transition = self.update_pressure(outstanding);
         let gp = self.rcu.gp_state(); // line 35
         // 0 = tracing disabled: merge skips the delay sample (same
         // convention as the baseline's callback stamp).
@@ -690,6 +803,32 @@ impl Inner {
             gp.raw_epoch(),
             cpu.latent.len() as u64,
         );
+        if let Some((_, to)) = transition {
+            self.stats.ring.record(
+                cpu_idx,
+                EventKind::PressureChange,
+                self.stats.id(),
+                to as u64,
+                outstanding as u64,
+            );
+        }
+        self.stamp_latent(cpu_idx, cpu, obj, gp, queued_ns);
+        // Locks dropped: safe to expedite / assist without convoying the
+        // slot behind a grace-period drive.
+        self.apply_backpressure(transition);
+    }
+
+    /// The slot-locked tail of [`free_deferred_inner`]: admit `obj` into
+    /// the latent cache or move it (and any overflow) to its latent slab.
+    /// Consumes the guard so every early return drops the slot lock.
+    fn stamp_latent(
+        &self,
+        cpu_idx: usize,
+        mut cpu: MutexGuard<'_, CpuState>,
+        obj: ObjPtr,
+        gp: GpState,
+        queued_ns: u64,
+    ) {
         if !self.config.latent_cache {
             drop(cpu);
             self.defer_to_slabs(&[(obj, gp, queued_ns)]);
@@ -986,12 +1125,46 @@ mod tests {
                 unsafe { c.free_deferred(o) };
             }
         }
+        let s = c.stats();
+        assert!(s.oom_waits > 0, "expected OOM deferral to trigger: {s:?}");
         assert!(
-            c.stats().oom_waits > 0,
-            "expected OOM deferral to trigger: {:?}",
-            c.stats()
+            s.oom_recoveries_total() >= 1,
+            "recovered allocations should be attributed to a ladder stage: {s:?}"
         );
         c.quiesce();
+    }
+
+    #[test]
+    fn pressure_governor_tracks_backlog() {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cfg = PrudenceConfig::new(1)
+            .with_preflush(false)
+            .with_watermarks(4, 8);
+        let c = PrudenceCache::new("t", 64, cfg, pages, Arc::clone(&rcu));
+        let reader = rcu.register();
+        let objs: Vec<ObjPtr> = (0..16).map(|_| c.allocate().unwrap()).collect();
+        // Pin a reader so nothing can drain while the backlog builds.
+        let guard = reader.read_lock();
+        for &o in &objs {
+            unsafe { c.free_deferred(o) };
+        }
+        let s = c.stats();
+        assert_eq!(s.pressure_level, 2, "hard watermark crossed: {s:?}");
+        assert!(s.pressure_transitions >= 2, "0→1→2 expected: {s:?}");
+        assert!(
+            s.assisted_merges >= 1,
+            "hard-level frees must assist reclaim: {s:?}"
+        );
+        assert!(
+            c.telemetry().count_of(EventKind::PressureChange) >= 2,
+            "transitions should be traced"
+        );
+        drop(guard);
+        c.quiesce();
+        let s = c.stats();
+        assert_eq!(s.pressure_level, 0, "gauge returns to nominal: {s:?}");
+        assert_eq!(c.deferred_outstanding(), 0);
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct PrudenceConfig {
     /// How many grace periods to wait for deferred objects before
     /// reporting out-of-memory (§4.2, *Handling memory pressure*).
     pub oom_retries: usize,
+    /// Deferred-backlog soft watermark: when `deferred_outstanding`
+    /// crosses it, freeing threads nudge the grace-period machinery with
+    /// an expedited drive.
+    pub soft_watermark: usize,
+    /// Deferred-backlog hard watermark: above it every freeing thread
+    /// also runs a caller-assisted reclaim pass, throttling producers to
+    /// the reclaim rate.
+    pub hard_watermark: usize,
 }
 
 impl PrudenceConfig {
@@ -63,6 +71,8 @@ impl PrudenceConfig {
             deferred_aware_selection: true,
             slab_scan_window: 10,
             oom_retries: 4,
+            soft_watermark: 4096,
+            hard_watermark: 16384,
         }
     }
 
@@ -101,6 +111,14 @@ impl PrudenceConfig {
         self.slab_scan_window = window.max(1);
         self
     }
+
+    /// Sets the deferred-backlog pressure watermarks. `hard` is clamped to
+    /// at least `soft` so the pressure levels stay ordered.
+    pub fn with_watermarks(mut self, soft: usize, hard: usize) -> Self {
+        self.soft_watermark = soft.max(1);
+        self.hard_watermark = hard.max(self.soft_watermark);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +134,16 @@ mod tests {
         assert!(c.proportional_flush);
         assert!(c.deferred_aware_selection);
         assert_eq!(c.slab_scan_window, 10);
+        assert!(c.soft_watermark <= c.hard_watermark);
+    }
+
+    #[test]
+    fn watermarks_stay_ordered() {
+        let c = PrudenceConfig::new(2).with_watermarks(100, 10);
+        assert_eq!(c.soft_watermark, 100);
+        assert_eq!(c.hard_watermark, 100, "hard clamped up to soft");
+        let c = PrudenceConfig::new(2).with_watermarks(0, 0);
+        assert_eq!(c.soft_watermark, 1, "soft clamped to at least 1");
     }
 
     #[test]

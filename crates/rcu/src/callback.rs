@@ -119,6 +119,18 @@ pub struct RcuConfig {
     /// advance, stalling reclamation for that attempt. Stalls are counted in
     /// [`RcuStats::injected_gp_stalls`](crate::RcuStats::injected_gp_stalls).
     pub fault_injector: Option<Arc<pbs_fault::FaultInjector>>,
+    /// Reader-pin duration past which the stall watchdog warns. The
+    /// watchdog piggybacks on the grace-period driver thread — detection
+    /// latency is bounded below by [`driver_interval`](Self::driver_interval)
+    /// — and fires exactly one warning per stall episode
+    /// ([`RcuStats::stall_warnings`](crate::RcuStats::stall_warnings)),
+    /// clearing when the reader unpins.
+    pub stall_threshold: Duration,
+    /// Bound on the expedited grace-period drive: `synchronize_expedited`
+    /// spins this many `try_advance` rounds (yielding with backoff after
+    /// the first few) before falling back to passive polling like plain
+    /// `synchronize`.
+    pub expedite_retries: usize,
 }
 
 impl std::fmt::Debug for RcuConfig {
@@ -138,6 +150,8 @@ impl std::fmt::Debug for RcuConfig {
                 "fault_injector",
                 &self.fault_injector.as_ref().map(|_| "<injector>"),
             )
+            .field("stall_threshold", &self.stall_threshold)
+            .field("expedite_retries", &self.expedite_retries)
             .finish()
     }
 }
@@ -156,6 +170,11 @@ impl Default for RcuConfig {
             pressure_threshold: 0.8,
             pressure_blimit: 16384,
             fault_injector: None,
+            // Long enough that ordinary read-side critical sections (ns–µs)
+            // never warn; short enough that a wedged reader is reported
+            // within human-noticeable time.
+            stall_threshold: Duration::from_millis(100),
+            expedite_retries: 64,
         }
     }
 }
@@ -187,6 +206,13 @@ impl RcuConfig {
     /// [`fault_injector`](Self::fault_injector)).
     pub fn with_fault_injector(mut self, faults: Arc<pbs_fault::FaultInjector>) -> Self {
         self.fault_injector = Some(faults);
+        self
+    }
+
+    /// Sets the stall-watchdog threshold (see
+    /// [`stall_threshold`](Self::stall_threshold)).
+    pub fn with_stall_threshold(mut self, threshold: Duration) -> Self {
+        self.stall_threshold = threshold;
         self
     }
 

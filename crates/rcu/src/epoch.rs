@@ -74,14 +74,25 @@ const EPOCH_MASK: u64 = PINNED - 1;
 pub(crate) struct ThreadRecord {
     state: AtomicU64,
     active: AtomicBool,
+    /// Process-unique id, stable for the record's lifetime. Lets the stall
+    /// watchdog attribute warnings to a specific reader without keying on
+    /// (reusable) heap addresses.
+    id: u64,
 }
 
 impl ThreadRecord {
     pub(crate) fn new() -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
         Self {
             state: AtomicU64::new(0),
             active: AtomicBool::new(true),
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique record id (watchdog attribution).
+    pub(crate) fn id(&self) -> u64 {
+        self.id
     }
 
     /// Marks the thread as inside a critical section at `epoch`.

@@ -20,6 +20,18 @@ pub(crate) struct StatsInner {
     /// Advance attempts refused because an injected fault (site
     /// `rcu.advance`) stalled the grace period.
     pub(crate) injected_gp_stalls: AtomicU64,
+    /// Stall episodes the watchdog warned about (one per episode, however
+    /// long the reader stays pinned).
+    pub(crate) stall_warnings: AtomicU64,
+    /// Longest reader stall ever observed, in nanoseconds (`fetch_max`;
+    /// grows while a stall is still in progress).
+    pub(crate) longest_stall_ns: AtomicU64,
+    /// Readers currently pinned past the stall threshold (gauge: incremented
+    /// at warn, decremented at clear).
+    pub(crate) active_stalls: AtomicU64,
+    /// Expedited grace-period drives (`synchronize_expedited` /
+    /// `expedite`).
+    pub(crate) expedited_gps: AtomicU64,
     enqueued: AtomicU64,
     processed: AtomicU64,
     max_backlog: AtomicUsize,
@@ -71,6 +83,10 @@ impl StatsInner {
             membarrier_advances: self.membarrier_advances.load(Ordering::Relaxed),
             fallback_fence_advances: self.fallback_fence_advances.load(Ordering::Relaxed),
             injected_gp_stalls: self.injected_gp_stalls.load(Ordering::Relaxed),
+            stall_warnings: self.stall_warnings.load(Ordering::Relaxed),
+            longest_stall_ns: self.longest_stall_ns.load(Ordering::Relaxed),
+            active_stalls: self.active_stalls.load(Ordering::Relaxed),
+            expedited_gps: self.expedited_gps.load(Ordering::Relaxed),
             callbacks_enqueued: self.enqueued.load(Ordering::Relaxed),
             callbacks_processed: self.processed.load(Ordering::Relaxed),
             callback_backlog: backlog,
@@ -113,6 +129,20 @@ pub struct RcuStats {
     /// site `rcu.advance`); stays zero without a
     /// [`fault_injector`](crate::RcuConfig::fault_injector).
     pub injected_gp_stalls: u64,
+    /// Reader stall episodes the watchdog warned about. Exactly one
+    /// warning per episode: the counter bumps when a pin first exceeds
+    /// [`stall_threshold`](crate::RcuConfig::stall_threshold) and not
+    /// again until that reader unpins and stalls anew.
+    pub stall_warnings: u64,
+    /// Longest reader stall observed, in nanoseconds (still growing while
+    /// a stall is in progress).
+    pub longest_stall_ns: u64,
+    /// Readers currently pinned past the stall threshold (gauge; returns
+    /// to zero when every warned reader unpins).
+    pub active_stalls: u64,
+    /// Expedited grace-period drives
+    /// ([`synchronize_expedited`](crate::Rcu::synchronize_expedited)).
+    pub expedited_gps: u64,
     /// Callbacks ever queued with `call_rcu`.
     pub callbacks_enqueued: u64,
     /// Callbacks that have run.

@@ -35,6 +35,35 @@ impl Node {
 /// Prudence cache's fast-path policy so the comparison stays fair.
 const SLOT_SPIN: usize = 24;
 
+/// Degradation knobs for the baseline cache.
+///
+/// The defaults match the Prudence cache's (`PrudenceConfig`) so the
+/// hardened comparison stays fair. Setting `oom_retries` to zero disables
+/// the recovery ladder entirely, reproducing the paper's unhardened
+/// baseline that reports out-of-memory on the first slab-grow failure —
+/// the endurance experiment (Figure 3) pins that configuration.
+#[derive(Debug, Clone)]
+pub struct SlubTuning {
+    /// Deferred-backlog soft watermark (pressure level 1: expedite GPs).
+    pub soft_watermark: usize,
+    /// Deferred-backlog hard watermark (pressure level 2: freeing threads
+    /// assist reclaim).
+    pub hard_watermark: usize,
+    /// Recovery-ladder rungs to climb before reporting OOM; zero turns
+    /// the ladder off.
+    pub oom_retries: usize,
+}
+
+impl Default for SlubTuning {
+    fn default() -> Self {
+        Self {
+            soft_watermark: 4096,
+            hard_watermark: 16384,
+            oom_retries: 4,
+        }
+    }
+}
+
 /// A SLUB-style slab cache for fixed-size objects.
 ///
 /// See the [crate-level documentation](crate) for the role this type plays
@@ -53,6 +82,8 @@ pub struct SlubCache {
     /// Objects handed to `free_deferred` whose RCU callback has not yet
     /// returned them to a CPU cache.
     deferred_pending: AtomicUsize,
+    /// Degradation knobs (watermarks normalised so soft ≤ hard).
+    tuning: SlubTuning,
     weak_self: Weak<SlubCache>,
 }
 
@@ -81,7 +112,23 @@ impl SlubCache {
         pages: Arc<PageAllocator>,
         rcu: Arc<Rcu>,
     ) -> Arc<Self> {
+        Self::with_tuning(name, object_size, ncpus, SlubTuning::default(), pages, rcu)
+    }
+
+    /// Like [`new`](Self::new) with explicit degradation knobs. The hard
+    /// watermark is clamped to at least the soft one so the pressure
+    /// levels stay ordered.
+    pub fn with_tuning(
+        name: &str,
+        object_size: usize,
+        ncpus: usize,
+        mut tuning: SlubTuning,
+        pages: Arc<PageAllocator>,
+        rcu: Arc<Rcu>,
+    ) -> Arc<Self> {
         let policy = SizingPolicy::for_object_size(object_size);
+        tuning.soft_watermark = tuning.soft_watermark.max(1);
+        tuning.hard_watermark = tuning.hard_watermark.max(tuning.soft_watermark);
         Arc::new_cyclic(|weak_self| Self {
             name: name.to_owned(),
             policy,
@@ -94,6 +141,7 @@ impl SlubCache {
             node: Mutex::new(Node::default()),
             stats: CacheStats::new(ncpus),
             deferred_pending: AtomicUsize::new(0),
+            tuning,
             weak_self: weak_self.clone(),
         })
     }
@@ -230,9 +278,15 @@ impl SlubCache {
         self.stats.shard(cpu_idx).flushes.bump();
         let keep = self.policy.object_cache_size / 2;
         let excess: Vec<ObjPtr> = cache.drain(..cache.len().saturating_sub(keep)).collect();
+        self.give_back_to_slabs(excess);
+    }
+
+    /// Returns free objects to their slabs under the node lock, then
+    /// shrinks if too many slabs became free.
+    fn give_back_to_slabs(&self, objs: Vec<ObjPtr>) {
         let mut node = self.lock_node();
-        for obj in excess {
-            // SAFETY: the object came from this cache (flush only sees
+        for obj in objs {
+            // SAFETY: the object came from this cache (callers only pass
             // pointers previously handed to `free`), and the node lock is
             // held.
             let slab_index = unsafe { resolve_slab_index(obj, self.policy.slab_bytes) };
@@ -246,6 +300,82 @@ impl SlubCache {
             node.lists.move_to(slab_index, kind);
         }
         self.shrink(&mut node);
+    }
+
+    /// Attributes a successful allocation that needed the OOM ladder to
+    /// the rung that unblocked it (`attempts` = ladder entries so far; 0 =
+    /// the fast path, nothing to record). Caller holds the `cpu_idx` slot
+    /// lock, which owns that trace lane.
+    fn record_oom_recovery(&self, cpu_idx: usize, attempts: usize) {
+        if attempts == 0 {
+            return;
+        }
+        let stage = attempts.min(3);
+        self.stats.record_oom_recovery(stage);
+        self.stats.ring.record(
+            cpu_idx,
+            EventKind::OomRecovery,
+            self.stats.id(),
+            stage as u64,
+            1,
+        );
+    }
+
+    /// One rung of the staged OOM recovery ladder; the baseline's analogue
+    /// of the Prudence cache's ladder so degradation behaviour is
+    /// comparable. Every entry counts as an `oom_wait`.
+    fn run_recovery_stage(&self, attempt: usize) {
+        self.stats.oom_waits.fetch_add(1, Ordering::Relaxed);
+        match attempt {
+            // Stage 1: consolidate every CPU cache back into slabs — free
+            // objects parked on other slots become refillable without any
+            // grace-period wait.
+            1 => self.oom_flush_cpu_caches(),
+            // Stage 2: drive the grace period (expedited) and give the
+            // reclaimer threads a bounded window to run the callbacks that
+            // hand deferred objects back.
+            2 => self.await_deferred_drain(true),
+            // Stage 3+: the backlog is waiting on something slower; back
+            // off, then wait out a full (non-expedited) grace period.
+            n => {
+                let shift = (n - 3).min(4) as u32;
+                std::thread::sleep(std::time::Duration::from_micros(50 << shift));
+                self.await_deferred_drain(false);
+            }
+        }
+    }
+
+    /// Ladder stage 1: drain every CPU cache to its slabs.
+    fn oom_flush_cpu_caches(&self) {
+        for (cpu_idx, slot) in self.cpu_caches.iter().enumerate() {
+            let mut cache = slot.lock();
+            if cache.is_empty() {
+                continue;
+            }
+            self.stats.shard(cpu_idx).flushes.bump();
+            let objs: Vec<ObjPtr> = cache.drain(..).collect();
+            drop(cache);
+            self.give_back_to_slabs(objs);
+        }
+    }
+
+    /// Ladder stages 2/3: complete a grace period, then give the domain's
+    /// reclaimer threads a bounded window to return deferred objects
+    /// (unlike Prudence, the baseline cannot merge them itself — they only
+    /// come back through RCU callbacks).
+    fn await_deferred_drain(&self, expedited: bool) {
+        let before = self.deferred_pending.load(Ordering::Relaxed);
+        if expedited {
+            self.rcu.synchronize_expedited();
+        } else {
+            self.rcu.synchronize();
+        }
+        for _ in 0..64 {
+            if self.deferred_pending.load(Ordering::Relaxed) < before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
     }
 
     /// Returns free slabs beyond the threshold to the page allocator.
@@ -277,7 +407,14 @@ impl SlubCache {
         } else {
             // RCU callback returning a deferred object: this is the moment
             // the baseline makes it reusable. Slot lock held → lane owned.
-            self.deferred_pending.fetch_sub(1, Ordering::Relaxed);
+            let prev = self.deferred_pending.fetch_sub(1, Ordering::Relaxed);
+            // Downward pressure transitions happen here as the backlog
+            // drains (gauge/counter only; the defer path owns the event).
+            self.stats.update_pressure(
+                prev.saturating_sub(1),
+                self.tuning.soft_watermark,
+                self.tuning.hard_watermark,
+            );
             self.stats.ring.record(
                 cpu_idx,
                 EventKind::DeferredReusable,
@@ -295,19 +432,43 @@ impl SlubCache {
 
 impl ObjectAllocator for SlubCache {
     fn allocate(&self) -> Result<ObjPtr, AllocError> {
-        let (cpu_idx, mut cache) = self.lock_cpu();
-        // Shard bumps are single-writer: this thread holds the matching
-        // slot lock.
-        let shard = self.stats.shard(cpu_idx);
-        shard.alloc_requests.bump();
-        if let Some(obj) = cache.pop() {
-            shard.cache_hits.bump();
-            shard.live_delta.bump_add();
-            return Ok(obj);
+        let mut attempts = 0;
+        let mut counted_request = false;
+        loop {
+            let (cpu_idx, mut cache) = self.lock_cpu();
+            // Shard bumps are single-writer: this thread holds the matching
+            // slot lock.
+            let shard = self.stats.shard(cpu_idx);
+            if !counted_request {
+                shard.alloc_requests.bump();
+                counted_request = true;
+            }
+            if let Some(obj) = cache.pop() {
+                shard.cache_hits.bump();
+                shard.live_delta.bump_add();
+                self.record_oom_recovery(cpu_idx, attempts);
+                return Ok(obj);
+            }
+            match self.refill(cpu_idx, &mut cache) {
+                Ok(obj) => {
+                    shard.live_delta.bump_add();
+                    self.record_oom_recovery(cpu_idx, attempts);
+                    return Ok(obj);
+                }
+                Err(e) => {
+                    // Recover via the ladder while deferred objects remain;
+                    // release the slot lock first so frees can progress.
+                    drop(cache);
+                    if attempts >= self.tuning.oom_retries
+                        || self.deferred_pending.load(Ordering::Relaxed) == 0
+                    {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                    self.run_recovery_stage(attempts);
+                }
+            }
         }
-        let obj = self.refill(cpu_idx, &mut cache)?;
-        shard.live_delta.bump_add();
-        Ok(obj)
     }
 
     unsafe fn free(&self, obj: ObjPtr) {
@@ -321,12 +482,18 @@ impl ObjectAllocator for SlubCache {
         // lock-free fetch_add here could land between a holder's load and
         // store and be silently overwritten. The lock is dropped before
         // the `call_rcu` box allocation below.
+        let transition;
         {
             let (cpu_idx, _cache) = self.lock_cpu();
             let shard = self.stats.shard(cpu_idx);
             shard.deferred_frees.bump();
             shard.live_delta.bump_sub();
-            self.deferred_pending.fetch_add(1, Ordering::Relaxed);
+            let outstanding = self.deferred_pending.fetch_add(1, Ordering::Relaxed) + 1;
+            transition = self.stats.update_pressure(
+                outstanding,
+                self.tuning.soft_watermark,
+                self.tuning.hard_watermark,
+            );
             self.stats.ring.record(
                 cpu_idx,
                 EventKind::DeferredFree,
@@ -334,6 +501,15 @@ impl ObjectAllocator for SlubCache {
                 obj.addr() as u64,
                 0,
             );
+            if let Some((_, to)) = transition {
+                self.stats.ring.record(
+                    cpu_idx,
+                    EventKind::PressureChange,
+                    self.stats.id(),
+                    to as u64,
+                    outstanding as u64,
+                );
+            }
         }
         // The baseline behaviour under test: the allocator registers an RCU
         // callback and the object stays invisible to it until background
@@ -348,6 +524,21 @@ impl ObjectAllocator for SlubCache {
                 cache.release(obj, false);
             }
         }));
+        // Backpressure, with no locks held. An upward transition nudges
+        // the grace-period machinery once; at the hard level every freeing
+        // thread drives it and yields to the reclaimers — the baseline's
+        // only reclaim channel is its RCU callbacks, so "helping" means
+        // getting those callbacks runnable and ceding the CPU to them.
+        if let Some((from, to)) = transition {
+            if to > from {
+                self.rcu.expedite();
+            }
+        }
+        if self.stats.pressure_level.load(Ordering::Relaxed) >= 2 {
+            self.stats.assisted_merges.fetch_add(1, Ordering::Relaxed);
+            self.rcu.expedite();
+            std::thread::yield_now();
+        }
     }
 
     fn object_size(&self) -> usize {
@@ -592,6 +783,78 @@ mod tests {
         assert_eq!(c.allocate(), Err(AllocError::OutOfMemory));
         assert!(faults.injected(site::SLUB_GROW) >= 1);
         assert_eq!(c.stats().live_objects, 0);
+    }
+
+    #[test]
+    fn pressure_gauge_rises_and_falls() {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(pbs_rcu::RcuConfig::eager()));
+        let tuning = SlubTuning {
+            soft_watermark: 4,
+            hard_watermark: 8,
+            ..SlubTuning::default()
+        };
+        let c = SlubCache::with_tuning("t", 64, 1, tuning, pages, Arc::clone(&rcu));
+        let reader = rcu.register();
+        let objs: Vec<ObjPtr> = (0..16).map(|_| c.allocate().unwrap()).collect();
+        // Pin a reader so callbacks cannot drain the backlog mid-test.
+        let guard = reader.read_lock();
+        for &o in &objs {
+            unsafe { c.free_deferred(o) };
+        }
+        let s = c.stats();
+        assert_eq!(s.pressure_level, 2, "hard watermark crossed: {s:?}");
+        assert!(s.pressure_transitions >= 2, "0→1→2 expected: {s:?}");
+        assert!(
+            s.assisted_merges >= 1,
+            "hard-level frees must assist: {s:?}"
+        );
+        assert!(
+            c.telemetry()
+                .count_of(pbs_telemetry::EventKind::PressureChange)
+                >= 2,
+            "transitions should be traced"
+        );
+        drop(guard);
+        c.quiesce();
+        let s = c.stats();
+        assert_eq!(s.pressure_level, 0, "gauge returns to nominal: {s:?}");
+        assert_eq!(c.deferred_outstanding(), 0);
+    }
+
+    #[test]
+    fn oom_ladder_recovers_deferred_backlog() {
+        // Page budget fits ~4 slabs; with everything deferred the baseline
+        // would OOM unless the ladder drives a grace period and lets the
+        // callbacks hand objects back.
+        let policy = SizingPolicy::for_object_size(512);
+        let pages = Arc::new(
+            PageAllocator::builder()
+                .limit_bytes(4 * policy.slab_bytes)
+                .build(),
+        );
+        let rcu = Arc::new(Rcu::with_config(pbs_rcu::RcuConfig::eager()));
+        let c = SlubCache::new("t", 512, 1, pages, rcu);
+        let per_slab = c.policy().objects_per_slab;
+        let total = per_slab * 3;
+        for round in 0..3 {
+            let objs: Vec<ObjPtr> = (0..total)
+                .map(|_| {
+                    c.allocate()
+                        .unwrap_or_else(|e| panic!("round {round}: {e}"))
+                })
+                .collect();
+            for o in objs {
+                unsafe { c.free_deferred(o) };
+            }
+        }
+        let s = c.stats();
+        assert!(s.oom_waits > 0, "ladder never entered: {s:?}");
+        assert!(
+            s.oom_recoveries_total() >= 1,
+            "no recovery attributed to a ladder stage: {s:?}"
+        );
+        c.quiesce();
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pbs_alloc_api::{CacheFactory, ObjectAllocator};
 use pbs_mem::PageAllocator;
 use pbs_rcu::Rcu;
 
-use crate::SlubCache;
+use crate::{SlubCache, SlubTuning};
 
 /// Creates [`SlubCache`]s sharing one page allocator and RCU domain.
 ///
@@ -27,6 +27,7 @@ use crate::SlubCache;
 #[derive(Debug)]
 pub struct SlubFactory {
     ncpus: usize,
+    tuning: SlubTuning,
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
 }
@@ -34,7 +35,23 @@ pub struct SlubFactory {
 impl SlubFactory {
     /// Creates a factory; every cache it mints shares `pages` and `rcu`.
     pub fn new(ncpus: usize, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
-        Self { ncpus, pages, rcu }
+        Self::with_tuning(ncpus, SlubTuning::default(), pages, rcu)
+    }
+
+    /// Like [`new`](Self::new) with explicit degradation knobs applied to
+    /// every cache this factory mints.
+    pub fn with_tuning(
+        ncpus: usize,
+        tuning: SlubTuning,
+        pages: Arc<PageAllocator>,
+        rcu: Arc<Rcu>,
+    ) -> Self {
+        Self {
+            ncpus,
+            tuning,
+            pages,
+            rcu,
+        }
     }
 
     /// The shared page allocator.
@@ -50,10 +67,11 @@ impl SlubFactory {
 
 impl CacheFactory for SlubFactory {
     fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
-        SlubCache::new(
+        SlubCache::with_tuning(
             name,
             object_size,
             self.ncpus,
+            self.tuning.clone(),
             Arc::clone(&self.pages),
             Arc::clone(&self.rcu),
         )

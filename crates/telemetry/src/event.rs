@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of event kinds; sizes the per-lane kind-count arrays.
-pub const KIND_COUNT: usize = 14;
+pub const KIND_COUNT: usize = 19;
 
 /// What happened. The discriminant is the on-ring wire value, so new kinds
 /// must only ever be appended.
@@ -51,6 +51,24 @@ pub enum EventKind {
     /// A deferred object became reusable (`a` = defer→reusable delay in
     /// nanoseconds, when known).
     DeferredReusable = 13,
+    /// The stall watchdog observed a reader pinned past the threshold
+    /// (`a` = stall duration in nanoseconds so far, `b` = offending
+    /// thread-record id).
+    StallWarn = 14,
+    /// A previously-warned stalled reader unpinned (`a` = total stall
+    /// duration in nanoseconds, `b` = thread-record id).
+    StallClear = 15,
+    /// An expedited grace-period drive started (`a` = raw epoch at
+    /// entry).
+    GpExpedite = 16,
+    /// The deferred-backlog pressure level changed (`a` = new level:
+    /// 0 = nominal, 1 = soft, 2 = hard; `b` = deferred objects
+    /// outstanding at the transition).
+    PressureChange = 17,
+    /// An OOM recovery-ladder rung ran (`a` = stage: 1 = local flush,
+    /// 2 = expedited GP + merge, 3 = backoff retry; `b` = 1 if the
+    /// retried allocation then succeeded).
+    OomRecovery = 18,
 }
 
 impl EventKind {
@@ -70,6 +88,11 @@ impl EventKind {
         EventKind::OomDefer,
         EventKind::DeferredFree,
         EventKind::DeferredReusable,
+        EventKind::StallWarn,
+        EventKind::StallClear,
+        EventKind::GpExpedite,
+        EventKind::PressureChange,
+        EventKind::OomRecovery,
     ];
 
     /// Stable snake_case name used in exports and kind-count tables.
@@ -89,6 +112,11 @@ impl EventKind {
             EventKind::OomDefer => "oom_defer",
             EventKind::DeferredFree => "deferred_free",
             EventKind::DeferredReusable => "deferred_reusable",
+            EventKind::StallWarn => "stall_warn",
+            EventKind::StallClear => "stall_clear",
+            EventKind::GpExpedite => "gp_expedite",
+            EventKind::PressureChange => "pressure_change",
+            EventKind::OomRecovery => "oom_recovery",
         }
     }
 

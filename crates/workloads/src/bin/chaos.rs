@@ -2,15 +2,21 @@
 //! seeds, exiting non-zero if any robustness invariant is violated.
 //!
 //! ```text
-//! chaos [--seeds 1,2,3] [--threads N] [--ops N] [--keys N]
+//! chaos [--scenario mixed|stalled-reader|oom-storm|all]
+//!       [--seed N | --seeds 1,2,3] [--allocator slub|prudence|both]
+//!       [--duration SECS] [--threads N] [--ops N] [--keys N]
 //!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]
 //! ```
+//!
+//! Every failing report prints a one-line replay command (seed, scenario
+//! and allocator pin the whole fault plan) so a red CI run can be
+//! reproduced directly.
 //!
 //! The process forces the RCU membarrier fallback before any domain is
 //! built, so every grace period in the run also exercises the fallback
 //! fence protocol (the unlucky-kernel path CI would otherwise never take).
 
-use pbs_workloads::chaos::{run_chaos, ChaosParams};
+use pbs_workloads::chaos::{run_chaos, ChaosParams, ChaosScenario};
 use pbs_workloads::AllocatorKind;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -19,37 +25,47 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    match flag_value(args, flag) {
-        Some(v) => v.parse().unwrap_or_else(|_| {
+/// Parses `flag` if present; `None` leaves the scenario default in force.
+fn parse_opt<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
             eprintln!("chaos: invalid value for {flag}: {v}");
             std::process::exit(2);
-        }),
-        None => default,
-    }
+        })
+    })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let seeds: Vec<u64> = flag_value(&args, "--seeds")
-        .unwrap_or_else(|| "1,2,3".into())
-        .split(',')
-        .map(|s| {
-            s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("chaos: invalid seed: {s}");
-                std::process::exit(2);
+    let seeds: Vec<u64> = match parse_opt::<u64>(&args, "--seed") {
+        Some(seed) => vec![seed],
+        None => flag_value(&args, "--seeds")
+            .unwrap_or_else(|| "1,2,3".into())
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("chaos: invalid seed: {s}");
+                    std::process::exit(2);
+                })
             })
-        })
-        .collect();
-    let base = ChaosParams::default();
-    let template = ChaosParams {
-        threads: parse(&args, "--threads", base.threads),
-        ops_per_thread: parse(&args, "--ops", base.ops_per_thread),
-        keys: parse(&args, "--keys", base.keys),
-        limit_bytes: parse(&args, "--limit-mb", base.limit_bytes >> 20) << 20,
-        grow_fault_p: parse(&args, "--grow-p", base.grow_fault_p),
-        stall_fault_p: parse(&args, "--stall-p", base.stall_fault_p),
-        ..base
+            .collect(),
+    };
+    let scenarios: Vec<ChaosScenario> = match flag_value(&args, "--scenario").as_deref() {
+        None => vec![ChaosScenario::Mixed],
+        Some("all") => ChaosScenario::ALL.to_vec(),
+        Some(s) => vec![s.parse().unwrap_or_else(|e| {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        })],
+    };
+    let kinds: Vec<AllocatorKind> = match flag_value(&args, "--allocator").as_deref() {
+        None | Some("both") => AllocatorKind::BOTH.to_vec(),
+        Some("slub") => vec![AllocatorKind::Slub],
+        Some("prudence") => vec![AllocatorKind::Prudence],
+        Some(other) => {
+            eprintln!("chaos: unknown allocator {other:?} (expected slub, prudence or both)");
+            std::process::exit(2);
+        }
     };
     let json = args.iter().any(|a| a == "--json");
 
@@ -61,33 +77,53 @@ fn main() {
     }
 
     let mut failed = false;
-    for &seed in &seeds {
-        let params = ChaosParams { seed, ..template.clone() };
-        for kind in AllocatorKind::BOTH {
-            let mut report = run_chaos(kind, &params);
-            if report.membarrier_advances != 0 {
-                report.violations.push(format!(
-                    "{} membarrier advances despite forced fallback",
-                    report.membarrier_advances
-                ));
-            }
-            if report.fallback_fence_advances == 0 {
-                report
-                    .violations
-                    .push("fallback fence protocol never ran".into());
-            }
-            if json {
-                println!(
-                    "{}",
-                    serde_json::to_string(&report).expect("serialize report")
-                );
-            } else {
-                println!("{}", report.render());
-                for v in &report.violations {
-                    println!("  violation: {v}");
+    for &scenario in &scenarios {
+        let base = ChaosParams::for_scenario(scenario);
+        let template = ChaosParams {
+            threads: parse_opt(&args, "--threads").unwrap_or(base.threads),
+            ops_per_thread: parse_opt(&args, "--ops").unwrap_or(base.ops_per_thread),
+            keys: parse_opt(&args, "--keys").unwrap_or(base.keys),
+            limit_bytes: parse_opt::<usize>(&args, "--limit-mb")
+                .map(|mb| mb << 20)
+                .unwrap_or(base.limit_bytes),
+            grow_fault_p: parse_opt(&args, "--grow-p").unwrap_or(base.grow_fault_p),
+            stall_fault_p: parse_opt(&args, "--stall-p").unwrap_or(base.stall_fault_p),
+            duration: parse_opt::<f64>(&args, "--duration")
+                .map(std::time::Duration::from_secs_f64)
+                .or(base.duration),
+            ..base
+        };
+        for &seed in &seeds {
+            let params = ChaosParams { seed, ..template.clone() };
+            for &kind in &kinds {
+                let mut report = run_chaos(kind, &params);
+                if report.membarrier_advances != 0 {
+                    report.violations.push(format!(
+                        "{} membarrier advances despite forced fallback",
+                        report.membarrier_advances
+                    ));
+                }
+                if report.fallback_fence_advances == 0 {
+                    report
+                        .violations
+                        .push("fallback fence protocol never ran".into());
+                }
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string(&report).expect("serialize report")
+                    );
+                } else {
+                    println!("{}", report.render());
+                    for v in &report.violations {
+                        println!("  violation: {v}");
+                    }
+                }
+                if !report.passed() {
+                    eprintln!("replay: {}", report.replay_command());
+                    failed = true;
                 }
             }
-            failed |= !report.passed();
         }
     }
     if failed {

@@ -26,7 +26,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -36,16 +36,73 @@ use serde::{Deserialize, Serialize};
 use pbs_alloc_api::ObjPtr;
 use pbs_fault::{site, FaultInjector, Schedule};
 use pbs_rcu::RcuConfig;
+use pbs_slub::SlubTuning;
 use pbs_structs::{RcuBst, RcuHashMap};
+use prudence::PrudenceConfig;
 
 use crate::{AllocatorKind, Testbed};
+
+/// Which stress profile a chaos run applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// Balanced churn with moderate fault rates (the original harness).
+    Mixed,
+    /// Reader pins held far past the (lowered) stall threshold: the
+    /// watchdog must warn at least once, and the backlog must still drain
+    /// to zero at quiesce.
+    StalledReader,
+    /// Defer-heavy traffic against a tight memory budget with aggressive
+    /// grow faults: allocations must climb the recovery ladder and at
+    /// least one must be rescued by a ladder stage rather than fail.
+    OomStorm,
+}
+
+impl ChaosScenario {
+    /// Every scenario, in the order the gating matrix runs them.
+    pub const ALL: [ChaosScenario; 3] = [
+        ChaosScenario::Mixed,
+        ChaosScenario::StalledReader,
+        ChaosScenario::OomStorm,
+    ];
+
+    /// CLI / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosScenario::Mixed => "mixed",
+            ChaosScenario::StalledReader => "stalled-reader",
+            ChaosScenario::OomStorm => "oom-storm",
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ChaosScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mixed" => Ok(ChaosScenario::Mixed),
+            "stalled-reader" => Ok(ChaosScenario::StalledReader),
+            "oom-storm" => Ok(ChaosScenario::OomStorm),
+            other => Err(format!(
+                "unknown scenario {other:?} (expected mixed, stalled-reader or oom-storm)"
+            )),
+        }
+    }
+}
 
 /// Parameters for one chaos run.
 #[derive(Debug, Clone)]
 pub struct ChaosParams {
     /// Worker threads (also the testbed CPU-slot count).
     pub threads: usize,
-    /// Operations per worker.
+    /// Operations per worker (ignored when [`duration`](Self::duration)
+    /// is set).
     pub ops_per_thread: u64,
     /// Key range for the tree/hashmap churn.
     pub keys: u64,
@@ -57,6 +114,13 @@ pub struct ChaosParams {
     pub grow_fault_p: f64,
     /// Probability of an injected stall per grace-period-advance attempt.
     pub stall_fault_p: f64,
+    /// Stress profile; tunes the reader-stall length, op mix, pressure
+    /// watermarks and the scenario's extra invariants.
+    pub scenario: ChaosScenario,
+    /// Wall-clock run length. When set, workers run until the deadline
+    /// instead of counting ops — scenarios that must outlast the stall
+    /// threshold need real time, not an op budget.
+    pub duration: Option<Duration>,
 }
 
 impl Default for ChaosParams {
@@ -69,6 +133,37 @@ impl Default for ChaosParams {
             limit_bytes: 8 << 20,
             grow_fault_p: 0.05,
             stall_fault_p: 0.10,
+            scenario: ChaosScenario::Mixed,
+            duration: None,
+        }
+    }
+}
+
+impl ChaosParams {
+    /// Default parameters tuned for a scenario: stalled-reader and
+    /// oom-storm runs are time-bounded (they need to outlast stall
+    /// thresholds and grace periods), and the storm tightens the budget
+    /// while raising the grow-fault rate.
+    pub fn for_scenario(scenario: ChaosScenario) -> Self {
+        let base = Self::default();
+        match scenario {
+            ChaosScenario::Mixed => base,
+            ChaosScenario::StalledReader => Self {
+                scenario,
+                stall_fault_p: 0.20,
+                duration: Some(Duration::from_millis(150)),
+                ..base
+            },
+            ChaosScenario::OomStorm => Self {
+                scenario,
+                grow_fault_p: 0.25,
+                // Just below the churn's natural working set (~104 KiB at
+                // these thread counts), so slab grows keep colliding with
+                // the limit while deferred objects are pinned.
+                limit_bytes: 96 << 10,
+                duration: Some(Duration::from_millis(150)),
+                ..base
+            },
         }
     }
 }
@@ -79,6 +174,8 @@ impl Default for ChaosParams {
 pub struct ChaosReport {
     /// Allocator label.
     pub allocator: String,
+    /// Scenario label.
+    pub scenario: String,
     /// The seed the run (and any replay) used.
     pub seed: u64,
     /// Operations completed across all workers.
@@ -104,6 +201,14 @@ pub struct ChaosReport {
     pub membarrier_advances: u64,
     /// Grace-period advances that used the fallback-fence protocol.
     pub fallback_fence_advances: u64,
+    /// RCU stall-watchdog warnings raised during the run.
+    pub stall_warnings: u64,
+    /// Expedited grace-period requests (ladder stage 2 + backpressure).
+    pub expedited_gps: u64,
+    /// Allocations rescued by a recovery-ladder stage across all caches.
+    pub ladder_recoveries: u64,
+    /// Pressure-level transitions across all caches.
+    pub pressure_transitions: u64,
     /// Invariant violations; empty on a passing run.
     pub violations: Vec<String>,
 }
@@ -117,18 +222,33 @@ impl ChaosReport {
     /// One-line summary for logs.
     pub fn render(&self) -> String {
         format!(
-            "chaos[{} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
-             peak {}/{} KiB, {} panics — {}",
+            "chaos[{} {} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
+             {} warns, {} expedited, {} rescued, peak {}/{} KiB, {} panics — {}",
             self.allocator,
+            self.scenario,
             self.seed,
             self.ops_completed,
             self.oom_errors,
             self.injected_oom,
             self.injected_gp_stalls,
+            self.stall_warnings,
+            self.expedited_gps,
+            self.ladder_recoveries,
             self.peak_bytes >> 10,
             self.limit_bytes >> 10,
             self.panics,
             if self.passed() { "OK" } else { "FAILED" },
+        )
+    }
+
+    /// One-line command reproducing this run (same seed, scenario and
+    /// allocator drive the same fault plan); printed whenever an
+    /// invariant fails so the failure can be replayed directly.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p pbs-workloads --bin chaos -- \
+             --scenario {} --seed {} --allocator {}",
+            self.scenario, self.seed, self.allocator
         )
     }
 }
@@ -151,15 +271,49 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     faults.schedule(grow_site, Schedule::Probability(params.grow_fault_p));
     faults.schedule(site::RCU_ADVANCE, Schedule::Probability(params.stall_fault_p));
 
-    let bed = Testbed::new_with_faults(
+    // Scenario knobs. The stalled-reader run lowers the watchdog threshold
+    // below its pin pulses so warnings are reachable in a short run; the
+    // storm lowers the pressure watermarks into the run's backlog range so
+    // the governor (expedite, caller-assisted reclaim) engages.
+    let mut rcu_config = RcuConfig::eager();
+    let mut staller_hold = Duration::from_millis(2);
+    let mut slub_tuning = None;
+    let mut prudence_config = None;
+    match params.scenario {
+        ChaosScenario::Mixed => {}
+        ChaosScenario::StalledReader => {
+            rcu_config = rcu_config.with_stall_threshold(Duration::from_millis(2));
+            staller_hold = Duration::from_millis(8);
+        }
+        ChaosScenario::OomStorm => {
+            // Longer pins keep the deferred bursts pinned long enough for
+            // grows to collide with the budget; the ladder's expedited
+            // drain then succeeds as soon as a pin releases.
+            staller_hold = Duration::from_millis(4);
+            slub_tuning = Some(SlubTuning {
+                soft_watermark: 64,
+                hard_watermark: 256,
+                ..SlubTuning::default()
+            });
+            prudence_config = Some(PrudenceConfig::new(params.threads).with_watermarks(64, 256));
+        }
+    }
+
+    let bed = Testbed::new_tuned(
         kind,
         params.threads,
-        RcuConfig::eager(),
+        rcu_config,
         Some(params.limit_bytes),
         Some(Arc::clone(&faults)),
+        slub_tuning,
+        prudence_config,
     );
     let node_cache = bed.create_cache("chaos_node", 64);
     let obj_cache = bed.create_cache("chaos_obj", 128);
+    // Large-object cache only the storm's burst arm touches: 32-object
+    // bursts of 512 B are 16 KiB each, so a handful of pinned bursts are
+    // guaranteed to drive slab grows into the storm's tight budget.
+    let storm_cache = bed.create_cache("chaos_storm", 512);
 
     // Live-object registry shared by all workers: allocate must never hand
     // out an address that another holder still owns (a latent-cache double
@@ -184,7 +338,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                 let reader = rcu.register();
                 while !stop.load(Ordering::Relaxed) {
                     let guard = reader.read_lock();
-                    std::thread::sleep(Duration::from_millis(2));
+                    std::thread::sleep(staller_hold);
                     drop(guard);
                     std::thread::yield_now();
                 }
@@ -195,6 +349,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
             .map(|tid| {
                 let node_cache = Arc::clone(&node_cache);
                 let obj_cache = Arc::clone(&obj_cache);
+                let storm_cache = Arc::clone(&storm_cache);
                 let live = Arc::clone(&live);
                 let rcu = Arc::clone(bed.rcu());
                 let params = params.clone();
@@ -205,9 +360,42 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                     let tree: RcuBst<u64> = RcuBst::new(Arc::clone(&node_cache));
                     let map: RcuHashMap<u64, u64> = RcuHashMap::new(node_cache, 32);
                     let mut held: Vec<ObjPtr> = Vec::new();
-                    for i in 0..params.ops_per_thread {
+                    // A set duration defines the run length (time-bounded
+                    // scenarios); otherwise the op budget does.
+                    let deadline = params.duration.map(|d| Instant::now() + d);
+                    let mut i = 0u64;
+                    loop {
+                        match deadline {
+                            Some(dl) => {
+                                if Instant::now() >= dl {
+                                    break;
+                                }
+                            }
+                            None => {
+                                if i >= params.ops_per_thread {
+                                    break;
+                                }
+                            }
+                        }
+                        i += 1;
                         tally.ops += 1;
-                        match rng.gen_range(0..10u32) {
+                        let roll = rng.gen_range(0..10u32);
+                        // The storm replaces most of the mix with burst
+                        // defers (arm 10): each one drains the CPU cache
+                        // and leaves a guaranteed deferred backlog, so
+                        // refill failures land while the ladder has
+                        // something to rescue.
+                        let roll = if params.scenario == ChaosScenario::OomStorm {
+                            match roll {
+                                0..=4 => 10, // burst defer
+                                5..=6 => 6,  // tree churn
+                                7..=8 => 0,  // allocate and hold
+                                _ => 9,      // read-side traversal
+                            }
+                        } else {
+                            roll
+                        };
+                        match roll {
                             // Raw allocation, held for later free/defer.
                             0..=2 => match obj_cache.allocate() {
                                 Ok(obj) => {
@@ -253,6 +441,35 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                                     tally.ooms += 1;
                                 }
                             }
+                            // Burst defer (storm only): allocate a burst,
+                            // then defer every object. Drains the CPU
+                            // cache so the next refill really hits the
+                            // node lists, and leaves a deferred backlog
+                            // for the recovery ladder to rescue.
+                            10 => {
+                                let mut burst: Vec<ObjPtr> = Vec::with_capacity(32);
+                                for _ in 0..32 {
+                                    match storm_cache.allocate() {
+                                        Ok(obj) => {
+                                            if !live.lock().insert(obj.addr()) {
+                                                tally.violations.push(format!(
+                                                    "double handout of {:#x} in burst",
+                                                    obj.addr()
+                                                ));
+                                            }
+                                            burst.push(obj);
+                                        }
+                                        Err(_) => {
+                                            tally.ooms += 1;
+                                            break;
+                                        }
+                                    }
+                                }
+                                for obj in burst {
+                                    live.lock().remove(&obj.addr());
+                                    unsafe { storm_cache.free_deferred(obj) };
+                                }
+                            }
                             // Read-side traversal. No allocation happens
                             // under the guard: an alloc could wait on a
                             // grace period this pin is blocking.
@@ -292,14 +509,16 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     // Quiesce with the staller gone: every deferred object must drain.
     node_cache.quiesce();
     obj_cache.quiesce();
-    let deferred_outstanding_end =
-        node_cache.deferred_outstanding() + obj_cache.deferred_outstanding();
+    storm_cache.quiesce();
+    let deferred_outstanding_end = node_cache.deferred_outstanding()
+        + obj_cache.deferred_outstanding()
+        + storm_cache.deferred_outstanding();
     if deferred_outstanding_end != 0 {
         violations.push(format!(
             "deferred_outstanding {deferred_outstanding_end} != 0 after quiesce"
         ));
     }
-    for cache in [&node_cache, &obj_cache] {
+    for cache in [&node_cache, &obj_cache, &storm_cache] {
         let stats = cache.stats();
         if stats.live_objects != 0 {
             violations.push(format!(
@@ -354,9 +573,37 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         }
     }
 
+    // Degradation counters plus the scenarios' extra invariants: a
+    // stalled-reader run that never tripped the watchdog, or a storm that
+    // never rescued an allocation through the ladder, means the machinery
+    // under test did not engage.
+    let node_stats = node_cache.stats();
+    let obj_stats = obj_cache.stats();
+    let storm_stats = storm_cache.stats();
+    let ladder_recoveries = node_stats.oom_recoveries_total()
+        + obj_stats.oom_recoveries_total()
+        + storm_stats.oom_recoveries_total();
+    let pressure_transitions = node_stats.pressure_transitions
+        + obj_stats.pressure_transitions
+        + storm_stats.pressure_transitions;
+    match params.scenario {
+        ChaosScenario::Mixed => {}
+        ChaosScenario::StalledReader => {
+            if rcu_stats.stall_warnings == 0 {
+                violations.push("stalled-reader: watchdog never warned".into());
+            }
+        }
+        ChaosScenario::OomStorm => {
+            if ladder_recoveries == 0 {
+                violations.push("oom-storm: no allocation recovered via a ladder stage".into());
+            }
+        }
+    }
+
     // Baseline check: drop the caches and every page must come home.
     drop(node_cache);
     drop(obj_cache);
+    drop(storm_cache);
     let used_bytes_after_teardown = bed.pages().used_bytes();
     if used_bytes_after_teardown != 0 {
         violations.push(format!(
@@ -366,6 +613,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
 
     ChaosReport {
         allocator: kind.label().to_owned(),
+        scenario: params.scenario.label().to_owned(),
         seed: params.seed,
         ops_completed,
         oom_errors,
@@ -378,6 +626,10 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         used_bytes_after_teardown,
         membarrier_advances: rcu_stats.membarrier_advances,
         fallback_fence_advances: rcu_stats.fallback_fence_advances,
+        stall_warnings: rcu_stats.stall_warnings,
+        expedited_gps: rcu_stats.expedited_gps,
+        ladder_recoveries,
+        pressure_transitions,
         violations,
     }
 }
@@ -423,5 +675,56 @@ mod tests {
             assert!(report.injected_oom > 0, "{kind}: grow faults never fired");
             assert_eq!(report.panics, 0);
         }
+    }
+
+    #[test]
+    fn stalled_reader_scenario_trips_the_watchdog() {
+        let params = ChaosParams {
+            threads: 2,
+            seed: 11,
+            duration: Some(Duration::from_millis(80)),
+            ..ChaosParams::for_scenario(ChaosScenario::StalledReader)
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(
+                report.passed(),
+                "{}\nreplay: {}",
+                report.render(),
+                report.replay_command()
+            );
+            assert!(report.stall_warnings >= 1, "{}", report.render());
+            assert_eq!(report.deferred_outstanding_end, 0);
+        }
+    }
+
+    #[test]
+    fn oom_storm_scenario_recovers_via_ladder() {
+        let params = ChaosParams {
+            threads: 2,
+            seed: 13,
+            duration: Some(Duration::from_millis(80)),
+            ..ChaosParams::for_scenario(ChaosScenario::OomStorm)
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(
+                report.passed(),
+                "{}\nreplay: {}",
+                report.render(),
+                report.replay_command()
+            );
+            assert!(report.ladder_recoveries >= 1, "{}", report.render());
+            assert!(report.peak_bytes <= report.limit_bytes);
+            assert_eq!(report.panics, 0);
+        }
+    }
+
+    #[test]
+    fn scenario_labels_round_trip() {
+        for s in ChaosScenario::ALL {
+            assert_eq!(s.label().parse::<ChaosScenario>().unwrap(), s);
+        }
+        assert!("bogus".parse::<ChaosScenario>().is_err());
     }
 }

@@ -115,12 +115,20 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
     // budget: the saturating updaters outrun reclamation and the baseline
     // backlog grows without bound, exactly as §3.5 describes. Prudence
     // never touches the callback path, so only the grace-period length
-    // matters to it.
-    let bed = Testbed::new(
+    // matters to it. Figure 3 characterises the *unhardened* baseline the
+    // paper measured, so the recovery ladder is pinned off here
+    // (`oom_retries: 0`); Prudence keeps its full configuration.
+    let bed = Testbed::new_tuned(
         kind,
         params.threads,
         RcuConfig::overwhelmed(),
         Some(params.memory_limit),
+        None,
+        Some(pbs_slub::SlubTuning {
+            oom_retries: 0,
+            ..Default::default()
+        }),
+        None,
     );
     let sampler = WatermarkSampler::start(Arc::clone(bed.pages()), params.sample_interval);
     let oom = Arc::new(AtomicBool::new(false));

@@ -49,6 +49,10 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
         "",
         r.injected_gp_stalls,
     );
+    counter(&mut out, "pbs_rcu_stall_warnings_total", "", r.stall_warnings);
+    counter(&mut out, "pbs_rcu_expedited_gps_total", "", r.expedited_gps);
+    gauge(&mut out, "pbs_rcu_active_stalls", "", r.active_stalls);
+    gauge(&mut out, "pbs_rcu_longest_stall_ns", "", r.longest_stall_ns);
     counter(
         &mut out,
         "pbs_rcu_callbacks_enqueued_total",
@@ -91,9 +95,29 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
             ("pbs_cache_node_lock_contended_total", s.node_lock_contended),
             ("pbs_cache_cpu_slot_misses_total", s.cpu_slot_misses),
             ("pbs_cache_oom_waits_total", s.oom_waits),
+            ("pbs_cache_pressure_transitions_total", s.pressure_transitions),
+            ("pbs_cache_assisted_merges_total", s.assisted_merges),
         ] {
             counter(&mut out, metric, &labels, value);
         }
+        for (stage, value) in [
+            ("1", s.oom_recoveries_stage1),
+            ("2", s.oom_recoveries_stage2),
+            ("3", s.oom_recoveries_stage3),
+        ] {
+            counter(
+                &mut out,
+                "pbs_cache_oom_recoveries_total",
+                &format!("{labels},stage=\"{stage}\""),
+                value,
+            );
+        }
+        gauge(
+            &mut out,
+            "pbs_cache_pressure_level",
+            &labels,
+            s.pressure_level as u64,
+        );
         gauge(&mut out, "pbs_cache_slabs_current", &labels, s.slabs_current as u64);
         gauge(&mut out, "pbs_cache_slabs_peak", &labels, s.slabs_peak as u64);
         gauge(&mut out, "pbs_cache_live_objects", &labels, s.live_objects);
@@ -209,11 +233,16 @@ fn push_component_events(
 
 /// Series every healthy run must expose; [`validate_prometheus`] fails
 /// when any is absent.
-pub const REQUIRED_PROM_SERIES: [&str; 5] = [
+pub const REQUIRED_PROM_SERIES: [&str; 10] = [
     "pbs_rcu_gp_advances_total",
     "pbs_rcu_membarrier_advances_total",
     "pbs_rcu_fallback_fence_advances_total",
+    "pbs_rcu_stall_warnings_total",
+    "pbs_rcu_expedited_gps_total",
+    "pbs_rcu_active_stalls",
     "pbs_rcu_gp_latency_ns_bucket",
+    "pbs_cache_pressure_level",
+    "pbs_cache_oom_recoveries_total",
     "pbs_events_total",
 ];
 
@@ -426,7 +455,11 @@ mod tests {
         assert!(out.contains("t_ns_sum 12"));
         validate_prometheus(&format!(
             "{out}pbs_rcu_gp_advances_total 0\npbs_rcu_membarrier_advances_total 0\n\
-             pbs_rcu_fallback_fence_advances_total 0\npbs_rcu_gp_latency_ns_bucket{{le=\"+Inf\"}} 0\n\
+             pbs_rcu_fallback_fence_advances_total 0\npbs_rcu_stall_warnings_total 0\n\
+             pbs_rcu_expedited_gps_total 0\npbs_rcu_active_stalls 0\n\
+             pbs_rcu_gp_latency_ns_bucket{{le=\"+Inf\"}} 0\n\
+             pbs_cache_pressure_level{{cache=\"t\"}} 0\n\
+             pbs_cache_oom_recoveries_total{{cache=\"t\",stage=\"1\"}} 0\n\
              pbs_events_total{{component=\"rcu\",kind=\"gp_begin\"}} 0\n"
         ))
         .unwrap();

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use pbs_alloc_api::{CacheFactory, ObjectAllocator, TelemetrySnapshot};
 use pbs_mem::PageAllocator;
 use pbs_rcu::{Rcu, RcuConfig};
-use pbs_slub::SlubFactory;
+use pbs_slub::{SlubFactory, SlubTuning};
 use prudence::{PrudenceConfig, PrudenceFactory};
 
 /// Which allocator design a run uses.
@@ -88,9 +88,28 @@ impl Testbed {
     pub fn new_with_faults(
         kind: AllocatorKind,
         ncpus: usize,
+        rcu_config: RcuConfig,
+        limit_bytes: Option<usize>,
+        faults: Option<Arc<pbs_fault::FaultInjector>>,
+    ) -> Self {
+        Self::new_tuned(kind, ncpus, rcu_config, limit_bytes, faults, None, None)
+    }
+
+    /// [`new_with_faults`](Self::new_with_faults) plus explicit allocator
+    /// degradation knobs: `slub_tuning` overrides the baseline's watermarks
+    /// and recovery-ladder depth (the endurance experiment pins
+    /// `oom_retries: 0` to reproduce the paper's unhardened baseline), and
+    /// `prudence_config` overrides the Prudence configuration wholesale
+    /// (its `ncpus` is forced to match). Each override applies only to its
+    /// own allocator kind; `None` keeps the defaults.
+    pub fn new_tuned(
+        kind: AllocatorKind,
+        ncpus: usize,
         mut rcu_config: RcuConfig,
         limit_bytes: Option<usize>,
         faults: Option<Arc<pbs_fault::FaultInjector>>,
+        slub_tuning: Option<SlubTuning>,
+        prudence_config: Option<PrudenceConfig>,
     ) -> Self {
         let mut builder = PageAllocator::builder();
         if let Some(limit) = limit_bytes {
@@ -113,16 +132,21 @@ impl Testbed {
         }
         let rcu = Arc::new(Rcu::with_config(rcu_config));
         let factory: Box<dyn CacheFactory> = match kind {
-            AllocatorKind::Slub => Box::new(SlubFactory::new(
+            AllocatorKind::Slub => Box::new(SlubFactory::with_tuning(
                 ncpus,
+                slub_tuning.unwrap_or_default(),
                 Arc::clone(&pages),
                 Arc::clone(&rcu),
             )),
-            AllocatorKind::Prudence => Box::new(PrudenceFactory::new(
-                PrudenceConfig::new(ncpus),
-                Arc::clone(&pages),
-                Arc::clone(&rcu),
-            )),
+            AllocatorKind::Prudence => {
+                let mut config = prudence_config.unwrap_or_else(|| PrudenceConfig::new(ncpus));
+                config.ncpus = ncpus;
+                Box::new(PrudenceFactory::new(
+                    config,
+                    Arc::clone(&pages),
+                    Arc::clone(&rcu),
+                ))
+            }
         };
         Self {
             kind,

@@ -10,7 +10,10 @@
 //! 3. every page returns to the system when the cache drops, even when
 //!    arbitrary grow attempts failed mid-sequence,
 //! 4. a total blackout (`EveryKth(1)`) makes the very first allocation of
-//!    a fresh cache fail cleanly on both allocators.
+//!    a fresh cache fail cleanly on both allocators,
+//! 5. recovery-ladder accounting is consistent: every recorded recovery
+//!    implies at least one ladder entry (`recoveries <= oom_waits`), and a
+//!    run that never entered the ladder records no recovery stage.
 //!
 //! No read-side pin is held across `allocate` here: under OOM, Prudence may
 //! wait on a grace period (Algorithm lines 31–33), which a pin from the
@@ -59,7 +62,11 @@ fn check_faulted(
             .fault_injector(Arc::clone(&faults))
             .build(),
     );
-    let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+    // The injector is also wired into the RCU domain so schedules against
+    // the grace-period-advance site take effect.
+    let rcu = Arc::new(Rcu::with_config(
+        RcuConfig::eager().with_fault_injector(Arc::clone(&faults)),
+    ));
     let cache = make(Arc::clone(&pages), Arc::clone(&rcu));
 
     let mut live: Vec<ObjPtr> = Vec::new();
@@ -113,8 +120,26 @@ fn check_faulted(
         unsafe { cache.free(obj) };
     }
     cache.quiesce();
-    assert_eq!(cache.stats().live_objects, 0);
+    let stats = cache.stats();
+    assert_eq!(stats.live_objects, 0);
     assert_eq!(cache.deferred_outstanding(), 0, "deferred not drained");
+
+    // Invariant 5: ladder accounting is consistent. A recovery is recorded
+    // only when an allocation succeeded after climbing >= 1 rung, and each
+    // rung climbed bumps `oom_waits`; a clean run records neither.
+    let recoveries =
+        stats.oom_recoveries_stage1 + stats.oom_recoveries_stage2 + stats.oom_recoveries_stage3;
+    assert!(
+        recoveries <= stats.oom_waits,
+        "{recoveries} ladder recoveries recorded but only {} ladder entries",
+        stats.oom_waits
+    );
+    if stats.oom_waits == 0 {
+        assert_eq!(
+            recoveries, 0,
+            "recovery stage recorded without ever entering the ladder"
+        );
+    }
 
     // The injector saw every consult and never under-counts injections.
     assert!(faults.calls(fault_site) >= faults.injected(fault_site));
@@ -180,6 +205,26 @@ proptest! {
     ) {
         check_faulted(make_slub, site::SLUB_GROW, seed, f64::from(fault_pm) / 1000.0, &ops);
     }
+
+    #[test]
+    fn prudence_survives_injected_gp_stalls(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        seed in any::<u64>(),
+        fault_pm in 0u32..600,
+    ) {
+        // Grace-period advances refused at random: deferred objects must
+        // still drain at quiesce and the ladder accounting stay coherent.
+        check_faulted(make_prudence, site::RCU_ADVANCE, seed, f64::from(fault_pm) / 1000.0, &ops);
+    }
+
+    #[test]
+    fn slub_survives_injected_gp_stalls(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        seed in any::<u64>(),
+        fault_pm in 0u32..600,
+    ) {
+        check_faulted(make_slub, site::RCU_ADVANCE, seed, f64::from(fault_pm) / 1000.0, &ops);
+    }
 }
 
 /// Invariant 4: under a total page-allocation blackout, a fresh cache's
@@ -208,5 +253,38 @@ fn blackout_errors_propagate_from_both_allocators() {
         assert_eq!(cache.stats().live_objects, 0);
         drop(cache);
         assert_eq!(pages.used_bytes(), 0, "{label}: blackout charged pages");
+    }
+}
+
+/// Invariant 5, deterministic direction: a fault-free, amply-provisioned
+/// run must never enter the recovery ladder, and therefore must never
+/// attribute a recovery to any stage.
+#[test]
+fn clean_runs_enter_no_ladder_stage() {
+    type Make = fn(Arc<PageAllocator>, Arc<Rcu>) -> Arc<dyn ObjectAllocator>;
+    let makes: [(&str, Make); 2] = [("prudence", make_prudence), ("slub", make_slub)];
+    for (label, make) in makes {
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache = make(Arc::clone(&pages), rcu);
+        let objs: Vec<ObjPtr> = (0..256).map(|_| cache.allocate().unwrap()).collect();
+        for (i, obj) in objs.into_iter().enumerate() {
+            // SAFETY: each object freed exactly once.
+            unsafe {
+                if i % 2 == 0 {
+                    cache.free(obj);
+                } else {
+                    cache.free_deferred(obj);
+                }
+            }
+        }
+        cache.quiesce();
+        let stats = cache.stats();
+        assert_eq!(stats.oom_waits, 0, "{label}: ladder entered without pressure");
+        assert_eq!(
+            stats.oom_recoveries_stage1 + stats.oom_recoveries_stage2 + stats.oom_recoveries_stage3,
+            0,
+            "{label}: recovery stage recorded on a clean run"
+        );
     }
 }
