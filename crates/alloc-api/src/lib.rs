@@ -36,3 +36,10 @@ pub use slab_lists::{ListKind, SlabLists};
 pub use stats::{CacheStats, CacheStatsSnapshot};
 pub use telemetry::{CacheTelemetry, TelemetrySnapshot};
 pub use traits::{AllocError, ObjPtr, ObjectAllocator};
+
+// Re-exported so allocators and harnesses name the fast-path engine
+// types without a separate dependency edge.
+pub use pbs_percpu::{
+    default_engine as fastpath_default_engine, env_disabled as fastpath_env_disabled,
+    Engine as FastPathEngine, FastPathSnapshot,
+};

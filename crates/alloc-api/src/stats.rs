@@ -344,6 +344,23 @@ impl CacheStats {
     /// Takes a consistent-enough snapshot for reporting, summing all
     /// shards.
     pub fn snapshot(&self, object_size: usize, slab_bytes: usize) -> CacheStatsSnapshot {
+        self.snapshot_with_fastpath(object_size, slab_bytes, &pbs_percpu::FastPathSnapshot::default())
+    }
+
+    /// [`snapshot`](Self::snapshot) plus the allocator's per-CPU
+    /// fast-path totals. Fast-path hits never touch the shards (that is
+    /// the point), so they are folded in here: a fast pop is an
+    /// allocation request served from cache, a fast push is an immediate
+    /// free, and both move the live-object balance — *before* the
+    /// non-negative clamp, because with a fast cache in front the shard
+    /// sum alone can legitimately go negative (alloc on the fast path,
+    /// free on the slow path).
+    pub fn snapshot_with_fastpath(
+        &self,
+        object_size: usize,
+        slab_bytes: usize,
+        fast: &pbs_percpu::FastPathSnapshot,
+    ) -> CacheStatsSnapshot {
         let mut snap = CacheStatsSnapshot {
             object_size,
             slab_bytes,
@@ -376,6 +393,13 @@ impl CacheStats {
             snap.cpu_slot_misses += shard.cpu_slot_misses.get();
             live += shard.live_delta.get();
         }
+        snap.alloc_requests += fast.alloc_hits;
+        snap.cache_hits += fast.alloc_hits;
+        snap.frees += fast.free_hits;
+        snap.rseq_hits = fast.alloc_hits + fast.free_hits;
+        snap.rseq_restarts = fast.restarts;
+        snap.fastpath_fallbacks = fast.fallbacks;
+        live += fast.alloc_hits as i64 - fast.free_hits as i64;
         snap.live_objects = live.max(0) as u64;
         snap
     }
@@ -449,6 +473,17 @@ pub struct CacheStatsSnapshot {
     pub oom_recoveries_stage2: u64,
     /// OOM recoveries via ladder stage 3 (backoff retry).
     pub oom_recoveries_stage3: u64,
+    /// Operations (pops + pushes) served by the per-CPU fast path with
+    /// no lock and no atomic RMW. Counted for both engines; under the
+    /// emulation engine these are slot-mutex hits with the same
+    /// semantics, so trajectories stay comparable across hosts.
+    pub rseq_hits: u64,
+    /// rseq critical sections restarted by preemption/migration (always
+    /// zero under the emulation engine).
+    pub rseq_restarts: u64,
+    /// Fast-path operations that bounced to the slow path (empty/full
+    /// slot, disabled fast path, engine switch in flight, contention).
+    pub fastpath_fallbacks: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -531,6 +566,9 @@ impl CacheStatsSnapshot {
         self.oom_recoveries_stage1 += other.oom_recoveries_stage1;
         self.oom_recoveries_stage2 += other.oom_recoveries_stage2;
         self.oom_recoveries_stage3 += other.oom_recoveries_stage3;
+        self.rseq_hits += other.rseq_hits;
+        self.rseq_restarts += other.rseq_restarts;
+        self.fastpath_fallbacks += other.fastpath_fallbacks;
     }
 }
 

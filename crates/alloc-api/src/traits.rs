@@ -160,6 +160,24 @@ pub trait ObjectAllocator: Send + Sync {
     fn deferred_outstanding(&self) -> usize {
         0
     }
+
+    /// Enables or disables this allocator's per-CPU fast path at
+    /// runtime. Disabling must drain any fast-parked objects back into
+    /// the regular caches so the switchover is leak-free; both
+    /// directions must be safe under concurrent traffic. The default is
+    /// a no-op for allocators without a fast path.
+    fn fastpath_set_enabled(&self, _enabled: bool) {}
+
+    /// Whether the per-CPU fast path is currently accepting operations.
+    /// Allocators without one report `false`.
+    fn fastpath_enabled(&self) -> bool {
+        false
+    }
+
+    /// Switches the fast path's engine live (rseq ⇄ slot-lock
+    /// emulation), preserving parked objects. Requests for an
+    /// unavailable engine degrade to the portable one. No-op default.
+    fn fastpath_set_engine(&self, _engine: pbs_percpu::Engine) {}
 }
 
 #[cfg(test)]

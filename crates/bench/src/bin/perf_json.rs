@@ -71,6 +71,11 @@ fn main() {
     }
     let label = label.unwrap_or_else(|| "run".to_string());
     let duration = Duration::from_secs_f64(secs);
+    let meta = run_metadata();
+    println!(
+        "run metadata: rev={} nproc={} kernel={} engine={}",
+        meta.git_rev, meta.nproc, meta.kernel, meta.fastpath_engine
+    );
 
     // Figure 6 regime: alloc + deferred free, contended per-CPU state.
     let mut fig6_rows = Vec::new();
@@ -90,7 +95,10 @@ fn main() {
     merge_run(
         &format!("{out_dir}/BENCH_fig6.json"),
         &label,
-        serde_json::to_value(&fig6_rows),
+        serde_json::json!({
+            "meta": meta,
+            "rows": fig6_rows,
+        }),
     );
 
     // §3.3 hit regime: alloc + immediate free (pure object-cache hits),
@@ -109,10 +117,55 @@ fn main() {
     }
     let table = measure_alloc_cost(512, 100_000);
     let blob = serde_json::json!({
+        "meta": meta,
         "hit_path": hit_rows,
         "s33_table": table,
     });
     merge_run(&format!("{out_dir}/BENCH_alloc_cost.json"), &label, blob);
+}
+
+/// Provenance recorded with every committed run, so a number in a BENCH
+/// file can be traced to the code, machine and fast-path engine that
+/// produced it.
+#[derive(Debug, Clone, Serialize)]
+struct RunMeta {
+    /// `git rev-parse --short HEAD`, or "unknown" outside a checkout.
+    git_rev: String,
+    /// Available hardware parallelism on the measuring machine.
+    nproc: usize,
+    /// Kernel release (`/proc/sys/kernel/osrelease`), or "unknown".
+    kernel: String,
+    /// Fast-path engine new caches select here ("rseq" / "locks"), after
+    /// any `PBS_FASTPATH` override; "off" when the override disabled the
+    /// fast path entirely (the run measures the regular paths).
+    fastpath_engine: String,
+    /// Value of `PBS_FASTPATH` if the run was forced, else null.
+    fastpath_override: Option<String>,
+}
+
+fn run_metadata() -> RunMeta {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    RunMeta {
+        git_rev,
+        nproc: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kernel,
+        fastpath_engine: if pbs_alloc_api::fastpath_env_disabled() {
+            "off".to_string()
+        } else {
+            pbs_alloc_api::fastpath_default_engine().label().to_string()
+        },
+        fastpath_override: std::env::var("PBS_FASTPATH").ok(),
+    }
 }
 
 /// Runs `threads` workers doing alloc/free pairs on one shared cache for

@@ -1,6 +1,7 @@
 //! The Prudence slab cache: Algorithm 1 of the paper plus the §4.2
 //! optimizations.
 
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -14,6 +15,7 @@ use pbs_alloc_api::{
     RawSlab, SizingPolicy,
 };
 use pbs_mem::PageAllocator;
+use pbs_percpu::{FastCache, FastPop, FastPush};
 use pbs_rcu::{GpState, Rcu};
 use pbs_telemetry::EventKind;
 
@@ -44,6 +46,10 @@ pub(crate) struct Inner {
     /// Per-CPU slot state, cache-padded so neighbouring slots (and their
     /// lock words) never share a line.
     cpu_states: Vec<CachePadded<Mutex<CpuState>>>,
+    /// Per-CPU zero-atomic hit path in front of the slot-locked object
+    /// caches. Only immediately-reusable objects park here; the defer
+    /// pipeline never touches it.
+    fast: FastCache,
     node: Mutex<Node>,
     stats: CacheStats,
     /// Deferred objects anywhere in the allocator (latent caches + latent
@@ -86,6 +92,11 @@ impl PrudenceCache {
         let policy = SizingPolicy::for_object_size(object_size);
         let (tx, rx) = unbounded();
         let preflush_enabled = config.preflush;
+        let fast_cap = if config.fastpath && !pbs_percpu::env_disabled() {
+            policy.object_cache_size
+        } else {
+            0
+        };
         let inner = Arc::new(Inner {
             name: name.to_owned(),
             policy,
@@ -93,6 +104,7 @@ impl PrudenceCache {
             cpu_states: (0..config.ncpus)
                 .map(|_| CachePadded::new(Mutex::new(CpuState::default())))
                 .collect(),
+            fast: FastCache::with_slots(fast_cap, config.ncpus),
             stats: CacheStats::new(config.ncpus),
             config,
             pages,
@@ -101,6 +113,7 @@ impl PrudenceCache {
             deferred_outstanding: AtomicUsize::new(0),
             preflush_tx: Mutex::new(preflush_enabled.then_some(tx)),
         });
+        inner.record_fastpath_engine(fast_cap);
         let worker = preflush_enabled.then(|| {
             let weak = Arc::downgrade(&inner);
             std::thread::Builder::new()
@@ -269,6 +282,86 @@ impl Inner {
         self.note_reclaimed(node.reclaim_pending(epoch));
     }
 
+    /// Wire code of the fast path's current engine for trace payloads:
+    /// 1 = rseq, 2 = slot-lock emulation.
+    fn fastpath_engine_code(&self) -> u64 {
+        match self.fast.engine() {
+            pbs_percpu::Engine::Rseq => 1,
+            pbs_percpu::Engine::Locks => 2,
+        }
+    }
+
+    /// Traces the engine the fast path selected at construction (`a` =
+    /// engine code, 0 when built without a fast path; `b` = per-CPU slot
+    /// capacity). Runs before the cache is shared, so the node lane has
+    /// no other writer yet.
+    fn record_fastpath_engine(&self, cap: usize) {
+        let code = if cap == 0 {
+            0
+        } else {
+            self.fastpath_engine_code()
+        };
+        self.stats
+            .record_node_event(EventKind::FastpathEngine, code, cap as u64);
+    }
+
+    /// Returns fast-drained object addresses to their slabs under the
+    /// node lock and traces the drain. `disabling` distinguishes a
+    /// toggle-off drain from a quiesce/OOM flush in the event payload.
+    fn give_back_fast(&self, objs: &[usize], disabling: bool) {
+        if objs.is_empty() {
+            return;
+        }
+        let mut node = self.lock_node();
+        for &addr in objs {
+            // SAFETY: only pointers minted by this cache's `allocate` are
+            // pushed onto the fast path, and `addr` was drained exactly
+            // once; the node lock is held.
+            let obj = ObjPtr::new(unsafe { NonNull::new_unchecked(addr as *mut u8) });
+            let index = unsafe { node.resolve(obj, self.policy.slab_bytes) };
+            node.slab_mut(index).raw.give_back(obj);
+            node.relist(index);
+        }
+        self.stats.record_node_event(
+            EventKind::FastpathDrain,
+            objs.len() as u64,
+            disabling as u64,
+        );
+        self.shrink(&mut node);
+    }
+
+    /// Drains fast-parked objects to their slabs (quiesce/OOM paths).
+    /// The fast path stays enabled and refills organically afterwards.
+    fn flush_fastpath(&self) {
+        let drained = self.fast.drain();
+        self.give_back_fast(&drained, false);
+    }
+
+    /// Runtime fast-path toggle: disabling drains parked objects back to
+    /// their slabs so the switchover is leak-free.
+    fn set_fastpath_enabled(&self, enabled: bool) {
+        let drained = self.fast.set_enabled(enabled);
+        self.give_back_fast(&drained, true);
+        let _node = self.lock_node();
+        self.stats.record_node_event(
+            EventKind::FastpathToggle,
+            self.fast.is_enabled() as u64,
+            self.fastpath_engine_code(),
+        );
+    }
+
+    /// Live engine switch; parked objects are preserved by the slot
+    /// mode-word protocol, so nothing drains here.
+    fn set_fastpath_engine(&self, engine: pbs_percpu::Engine) {
+        self.fast.set_engine(engine);
+        let _node = self.lock_node();
+        self.stats.record_node_event(
+            EventKind::FastpathToggle,
+            self.fast.is_enabled() as u64,
+            self.fastpath_engine_code(),
+        );
+    }
+
     /// MERGE_CACHES wrapper that maintains the outstanding-deferred count,
     /// records the defer→reusable delay of each merged object, and traces
     /// the merge. `cpu_idx` is the slot whose lock the caller holds — it
@@ -309,8 +402,16 @@ impl Inner {
         merged
     }
 
-    /// MALLOC (Algorithm lines 1-12 and 29-33).
+    /// MALLOC (Algorithm lines 1-12 and 29-33), fronted by the zero-atomic
+    /// per-CPU fast path: an uncontended hit takes no lock and performs no
+    /// atomic RMW (its stats fold into the snapshot from thread-local
+    /// counters).
     fn allocate(&self) -> Result<ObjPtr, AllocError> {
+        if let FastPop::Hit(addr) = self.fast.pop() {
+            // SAFETY: fast-parked addresses originate from `free` on this
+            // cache, each handed out exactly once by the commit protocol.
+            return Ok(ObjPtr::new(unsafe { NonNull::new_unchecked(addr as *mut u8) }));
+        }
         let mut attempts = 0;
         let mut counted_request = false;
         loop {
@@ -409,6 +510,7 @@ impl Inner {
     /// Ladder stage 1: merge and flush this thread's slot and sweep the
     /// node's pending list at the current epoch — no grace-period wait.
     fn oom_flush_local(&self) {
+        self.flush_fastpath();
         let (cpu_idx, mut cpu) = self.lock_cpu();
         self.merge_caches(cpu_idx, &mut cpu, 0);
         let moved: Vec<LatentEntry> = cpu.latent.drain(..).collect();
@@ -430,6 +532,15 @@ impl Inner {
     /// `Err`, never an unwind: the locks held here (`parking_lot`) do not
     /// poison, and nothing on this path panics on OOM.
     fn refill(&self, cpu_idx: usize, cpu: &mut CpuState) -> Result<ObjPtr, AllocError> {
+        // Fault hook: an injected `fastpath.disable` flips the per-CPU
+        // fast path live (drain-on-disable), so chaos runs exercise the
+        // switchover under load. Consulted before any node lock: the
+        // toggle takes it internally.
+        if let Some(faults) = self.pages.faults() {
+            if faults.should_fail(pbs_fault::site::FASTPATH_DISABLE) {
+                self.set_fastpath_enabled(!self.fast.is_enabled());
+            }
+        }
         self.stats.shard(cpu_idx).refills.bump();
         let latent_count = if self.config.partial_refill {
             cpu.latent.len()
@@ -459,9 +570,13 @@ impl Inner {
         while want > 0 {
             let index = match self.select_slab(&mut node, epoch, false) {
                 Some(i) => i,
+                // Growing is for satisfying the demanded object, not for
+                // topping up the batch: once the cache holds anything,
+                // stop rather than grow (otherwise an exactly-full heap
+                // gains a slab on every boundary refill).
+                None if !cpu.obj_cache.is_empty() => break,
                 None => match self.grow(&mut node) {
                     Ok(i) => i,
-                    Err(_) if !cpu.obj_cache.is_empty() => break, // partial success
                     Err(e) => {
                         // Last resort before failing: slabs we skipped
                         // because most of their objects are deferred
@@ -751,6 +866,7 @@ impl Inner {
     /// for a grace period (`expedited` drives it eagerly), reclaim
     /// everything reclaimable.
     fn emergency_reclaim(&self, expedited: bool) {
+        self.flush_fastpath();
         if expedited {
             self.rcu.synchronize_expedited();
         } else {
@@ -883,6 +999,9 @@ impl Inner {
     }
 
     fn quiesce(&self) {
+        // Park nothing across a quiesce: fast-cached objects go back to
+        // their slabs so peak/fragmentation measurements stay comparable.
+        self.flush_fastpath();
         for _ in 0..64 {
             if self.deferred_outstanding.load(Ordering::Relaxed) == 0 {
                 return;
@@ -914,6 +1033,11 @@ impl ObjectAllocator for PrudenceCache {
 
     unsafe fn free(&self, obj: ObjPtr) {
         let inner = &self.inner;
+        // Zero-atomic fast path: park the object in this CPU's slot. Full
+        // or disabled slots fall through to the slot-locked cache.
+        if let FastPush::Pushed = inner.fast.push(obj.addr()) {
+            return;
+        }
         let (cpu_idx, mut cpu) = inner.lock_cpu();
         let shard = inner.stats.shard(cpu_idx);
         shard.frees.bump();
@@ -942,9 +1066,11 @@ impl ObjectAllocator for PrudenceCache {
     }
 
     fn stats(&self) -> CacheStatsSnapshot {
-        self.inner
-            .stats
-            .snapshot(self.inner.policy.object_size, self.inner.policy.slab_bytes)
+        self.inner.stats.snapshot_with_fastpath(
+            self.inner.policy.object_size,
+            self.inner.policy.slab_bytes,
+            &self.inner.fast.snapshot(),
+        )
     }
 
     fn telemetry(&self) -> pbs_telemetry::ComponentTelemetry {
@@ -957,6 +1083,18 @@ impl ObjectAllocator for PrudenceCache {
 
     fn deferred_outstanding(&self) -> usize {
         PrudenceCache::deferred_outstanding(self)
+    }
+
+    fn fastpath_set_enabled(&self, enabled: bool) {
+        self.inner.set_fastpath_enabled(enabled);
+    }
+
+    fn fastpath_enabled(&self) -> bool {
+        self.inner.fast.is_enabled()
+    }
+
+    fn fastpath_set_engine(&self, engine: pbs_percpu::Engine) {
+        self.inner.set_fastpath_engine(engine);
     }
 }
 
@@ -1085,12 +1223,16 @@ mod tests {
         let before = c.stats();
         let again: Vec<ObjPtr> = (0..500).map(|_| c.allocate().unwrap()).collect();
         let after = c.stats();
-        // Reclaimed objects are reusable: the only regrowth allowed is for
+        // Reclaimed objects are reusable: regrowth is allowed only for
         // slabs that quiesce's shrink legitimately returned to the page
-        // allocator.
+        // allocator, plus the slack of objects parked in *other* CPU
+        // slots' object caches — at exact heap capacity a slot whose own
+        // cache ran dry cannot steal them and must grow instead.
+        let parked_slack =
+            (2 * c.policy().object_cache_size).div_ceil(c.policy().objects_per_slab) as u64;
         assert!(
-            after.grows - before.grows <= after.shrinks,
-            "grew more than it shrank: {after:?}"
+            after.grows - before.grows <= after.shrinks + parked_slack,
+            "grew more than it shrank: before={before:?} after={after:?}"
         );
         for o in again {
             unsafe { c.free(o) };

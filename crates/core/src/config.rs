@@ -52,6 +52,12 @@ pub struct PrudenceConfig {
     /// also runs a caller-assisted reclaim pass, throttling producers to
     /// the reclaim rate.
     pub hard_watermark: usize,
+    /// Route the allocate/free hit paths through the per-CPU fast path
+    /// (`pbs-percpu`): zero atomics and zero locks per uncontended pair.
+    /// When disabled the cache is built without fast-path slots at all
+    /// (ablation; the runtime toggle is
+    /// `ObjectAllocator::fastpath_set_enabled`).
+    pub fastpath: bool,
 }
 
 impl PrudenceConfig {
@@ -73,6 +79,7 @@ impl PrudenceConfig {
             oom_retries: 4,
             soft_watermark: 4096,
             hard_watermark: 16384,
+            fastpath: true,
         }
     }
 
@@ -119,6 +126,12 @@ impl PrudenceConfig {
         self.hard_watermark = hard.max(self.soft_watermark);
         self
     }
+
+    /// Toggles the per-CPU fast path (ablation).
+    pub fn with_fastpath(mut self, on: bool) -> Self {
+        self.fastpath = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +148,7 @@ mod tests {
         assert!(c.deferred_aware_selection);
         assert_eq!(c.slab_scan_window, 10);
         assert!(c.soft_watermark <= c.hard_watermark);
+        assert!(c.fastpath);
     }
 
     #[test]

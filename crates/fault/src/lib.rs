@@ -55,6 +55,12 @@ pub mod site {
     /// One grace-period advance attempt in `pbs_rcu`; an injected fault
     /// refuses the advance, stalling reclamation for that attempt.
     pub const RCU_ADVANCE: &str = "rcu.advance";
+    /// Consulted by both caches' refill slow paths. Each injected fault
+    /// flips the per-CPU fast path live — off (draining parked objects
+    /// back to the regular caches) when it is on, back on otherwise — so
+    /// harnesses can prove mid-run switchover is leak-free and
+    /// accounting-balanced.
+    pub const FASTPATH_DISABLE: &str = "fastpath.disable";
 }
 
 /// When a site's faults fire. Call indices are 1-based and per site.

@@ -178,6 +178,14 @@ impl PageAllocator {
         PageAllocatorBuilder::default()
     }
 
+    /// The fault injector this allocator consults, when one is attached.
+    /// Caches built on this allocator share it so their own fault sites
+    /// (e.g. [`site::FASTPATH_DISABLE`](pbs_fault::site::FASTPATH_DISABLE))
+    /// ride the same seeded plan as the page-level ones.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
     /// Allocates `n` pages aligned to [`PAGE_SIZE`].
     ///
     /// # Errors

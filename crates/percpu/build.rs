@@ -1,0 +1,13 @@
+fn main() {
+    // `pbs_rseq`: the target can host the rseq(2) engine (the assembly
+    // critical sections and the glibc __rseq_offset ABI). Runtime probes
+    // still decide whether the kernel cooperates; Miri is excluded at
+    // the use sites via cfg(miri), which build scripts cannot see.
+    println!("cargo:rustc-check-cfg=cfg(pbs_rseq)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    let env = std::env::var("CARGO_CFG_TARGET_ENV").unwrap_or_default();
+    if os == "linux" && arch == "x86_64" && env == "gnu" {
+        println!("cargo:rustc-cfg=pbs_rseq");
+    }
+}

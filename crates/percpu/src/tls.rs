@@ -1,0 +1,192 @@
+//! Thread-local statistics for the fast paths.
+//!
+//! The whole point of the rseq engine is a hit path with no atomic
+//! read-modify-writes, so its counters cannot be `fetch_add`s. Each
+//! thread accumulates per-cache counts in plain [`Cell`]s and flushes
+//! them into the cache's shared [`Sinks`] when the thread exits (TLS
+//! destructor) or when that cache takes a snapshot from this thread.
+//! Totals are therefore exact whenever the reader joined the writers
+//! first (every test does) and monotonically catch up otherwise.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::FastPathSnapshot;
+
+/// Shared per-cache totals, written only by flushes (rare) and read by
+/// snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct Sinks {
+    alloc_hits: AtomicU64,
+    free_hits: AtomicU64,
+    restarts: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl Sinks {
+    pub(crate) fn read(&self) -> FastPathSnapshot {
+        FastPathSnapshot {
+            alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
+            free_hits: self.free_hits.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn add(&self, alloc_hits: u64, free_hits: u64, restarts: u64, fallbacks: u64) {
+        if alloc_hits != 0 {
+            self.alloc_hits.fetch_add(alloc_hits, Ordering::Relaxed);
+        }
+        if free_hits != 0 {
+            self.free_hits.fetch_add(free_hits, Ordering::Relaxed);
+        }
+        if restarts != 0 {
+            self.restarts.fetch_add(restarts, Ordering::Relaxed);
+        }
+        if fallbacks != 0 {
+            self.fallbacks.fetch_add(fallbacks, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One thread's counts for one cache. The `Arc` keeps the sink alive
+/// even if the cache drops before the thread exits (the late flush then
+/// lands in an orphaned sink, harmlessly).
+struct LocalCounts {
+    id: u64,
+    sink: Arc<Sinks>,
+    alloc_hits: Cell<u64>,
+    free_hits: Cell<u64>,
+    restarts: Cell<u64>,
+    fallbacks: Cell<u64>,
+}
+
+impl LocalCounts {
+    fn flush(&self) {
+        self.sink.add(
+            self.alloc_hits.take(),
+            self.free_hits.take(),
+            self.restarts.take(),
+            self.fallbacks.take(),
+        );
+    }
+}
+
+struct ThreadStats {
+    /// One-entry lookup cache: (cache id, index into `entries`).
+    last: Cell<(u64, usize)>,
+    entries: RefCell<Vec<LocalCounts>>,
+}
+
+impl Drop for ThreadStats {
+    fn drop(&mut self) {
+        for entry in self.entries.get_mut() {
+            entry.flush();
+        }
+    }
+}
+
+thread_local! {
+    static TSTATS: ThreadStats = const {
+        ThreadStats {
+            last: Cell::new((0, usize::MAX)),
+            entries: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+#[inline]
+fn lookup(t: &ThreadStats, id: u64, sink: &Arc<Sinks>) -> usize {
+    let (last_id, idx) = t.last.get();
+    if last_id == id {
+        return idx;
+    }
+    slow_lookup(t, id, sink)
+}
+
+#[cold]
+fn slow_lookup(t: &ThreadStats, id: u64, sink: &Arc<Sinks>) -> usize {
+    let mut entries = t.entries.borrow_mut();
+    let idx = entries.iter().position(|e| e.id == id).unwrap_or_else(|| {
+        entries.push(LocalCounts {
+            id,
+            sink: Arc::clone(sink),
+            alloc_hits: Cell::new(0),
+            free_hits: Cell::new(0),
+            restarts: Cell::new(0),
+            fallbacks: Cell::new(0),
+        });
+        entries.len() - 1
+    });
+    drop(entries);
+    t.last.set((id, idx));
+    idx
+}
+
+/// Adds to this thread's counts for cache `id`. Falls back to direct
+/// sink updates if the thread's TLS is already torn down (frees running
+/// from other TLS destructors).
+#[inline]
+pub(crate) fn bump(
+    id: u64,
+    sink: &Arc<Sinks>,
+    alloc_hits: u64,
+    free_hits: u64,
+    restarts: u64,
+    fallbacks: u64,
+) {
+    let done = TSTATS.try_with(|t| {
+        let idx = lookup(t, id, sink);
+        let entries = t.entries.borrow();
+        let e = &entries[idx];
+        e.alloc_hits.set(e.alloc_hits.get() + alloc_hits);
+        e.free_hits.set(e.free_hits.get() + free_hits);
+        e.restarts.set(e.restarts.get() + restarts);
+        e.fallbacks.set(e.fallbacks.get() + fallbacks);
+    });
+    if done.is_err() {
+        sink.add(alloc_hits, free_hits, restarts, fallbacks);
+    }
+}
+
+/// Flushes the calling thread's counts for cache `id` into its sink.
+pub(crate) fn flush_current(id: u64) {
+    let _ = TSTATS.try_with(|t| {
+        let entries = t.entries.borrow();
+        if let Some(e) = entries.iter().find(|e| e.id == id) {
+            e.flush();
+        }
+    });
+}
+
+/// The lock engine's slot assignment: threads round-robin over slots at
+/// first use, mirroring the `CpuRegistry` policy the allocators use for
+/// their own per-CPU state.
+///
+/// The reduction modulo `nslots` is memoized per thread: a hardware
+/// divide on every hit-path operation would cost more than the slot
+/// stack work itself. The memo revalidates on `nslots` (caches can be
+/// sized differently), so the common case is one compare.
+#[inline]
+pub(crate) fn lock_slot_index(nslots: usize) -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        /// (round-robin base, last nslots seen, base % last nslots)
+        static SLOT: Cell<(usize, usize, usize)> = const { Cell::new((usize::MAX, 0, 0)) };
+    }
+    SLOT.with(|s| {
+        let (base, last_n, last_idx) = s.get();
+        if last_n == nslots {
+            return last_idx;
+        }
+        let base = if base == usize::MAX {
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        } else {
+            base
+        };
+        let idx = base % nslots;
+        s.set((base, nslots, idx));
+        idx
+    })
+}

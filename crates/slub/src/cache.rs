@@ -12,6 +12,7 @@ use pbs_alloc_api::{
     RawSlab, SizingPolicy, SlabLists,
 };
 use pbs_mem::PageAllocator;
+use pbs_percpu::{FastCache, FastPop, FastPush};
 use pbs_rcu::Rcu;
 use pbs_telemetry::EventKind;
 
@@ -52,6 +53,10 @@ pub struct SlubTuning {
     /// Recovery-ladder rungs to climb before reporting OOM; zero turns
     /// the ladder off.
     pub oom_retries: usize,
+    /// Route the alloc/free hit paths through the per-CPU fast path
+    /// (`pbs-percpu`), matching the Prudence cache so comparisons stay
+    /// fair. Disabling builds the cache without fast-path slots.
+    pub fastpath: bool,
 }
 
 impl Default for SlubTuning {
@@ -60,6 +65,7 @@ impl Default for SlubTuning {
             soft_watermark: 4096,
             hard_watermark: 16384,
             oom_retries: 4,
+            fastpath: true,
         }
     }
 }
@@ -77,6 +83,9 @@ pub struct SlubCache {
     /// Per-CPU object caches, cache-padded so neighbouring slots (and
     /// their lock words) never share a line.
     cpu_caches: Vec<CachePadded<Mutex<Vec<ObjPtr>>>>,
+    /// Per-CPU zero-atomic hit path in front of the slot-locked caches;
+    /// only immediately-reusable objects park here.
+    fast: FastCache,
     node: Mutex<Node>,
     stats: CacheStats,
     /// Objects handed to `free_deferred` whose RCU callback has not yet
@@ -129,7 +138,12 @@ impl SlubCache {
         let policy = SizingPolicy::for_object_size(object_size);
         tuning.soft_watermark = tuning.soft_watermark.max(1);
         tuning.hard_watermark = tuning.hard_watermark.max(tuning.soft_watermark);
-        Arc::new_cyclic(|weak_self| Self {
+        let fast_cap = if tuning.fastpath && !pbs_percpu::env_disabled() {
+            policy.object_cache_size
+        } else {
+            0
+        };
+        let cache = Arc::new_cyclic(|weak_self| Self {
             name: name.to_owned(),
             policy,
             pages,
@@ -138,12 +152,15 @@ impl SlubCache {
             cpu_caches: (0..ncpus)
                 .map(|_| CachePadded::new(Mutex::new(Vec::new())))
                 .collect(),
+            fast: FastCache::with_slots(fast_cap, ncpus),
             node: Mutex::new(Node::default()),
             stats: CacheStats::new(ncpus),
             deferred_pending: AtomicUsize::new(0),
             tuning,
             weak_self: weak_self.clone(),
-        })
+        });
+        cache.record_fastpath_engine(fast_cap);
+        cache
     }
 
     /// The sizing policy in effect (shared with Prudence for fairness).
@@ -216,6 +233,15 @@ impl SlubCache {
     /// page-allocator faults — surfaces as `Err`, never a panic, and the
     /// `parking_lot` locks held here cannot be poisoned by an unwind.
     fn refill(&self, cpu_idx: usize, cache: &mut Vec<ObjPtr>) -> Result<ObjPtr, AllocError> {
+        // Fault hook: an injected `fastpath.disable` flips the per-CPU
+        // fast path live (drain-on-disable), so chaos runs exercise the
+        // switchover under load. Consulted before any node lock: the
+        // toggle takes it internally.
+        if let Some(faults) = self.pages.faults() {
+            if faults.should_fail(pbs_fault::site::FASTPATH_DISABLE) {
+                self.fastpath_set_enabled(!self.fast.is_enabled());
+            }
+        }
         self.stats.shard(cpu_idx).refills.bump();
         let want = self.policy.object_cache_size;
         let mut node = self.lock_node();
@@ -302,6 +328,57 @@ impl SlubCache {
         self.shrink(&mut node);
     }
 
+    /// Wire code of the fast path's current engine for trace payloads:
+    /// 1 = rseq, 2 = slot-lock emulation.
+    fn fastpath_engine_code(&self) -> u64 {
+        match self.fast.engine() {
+            pbs_percpu::Engine::Rseq => 1,
+            pbs_percpu::Engine::Locks => 2,
+        }
+    }
+
+    /// Traces the engine the fast path selected at construction (`a` =
+    /// engine code, 0 when built without a fast path; `b` = per-CPU slot
+    /// capacity). Runs before the cache is shared, so the node lane has
+    /// no other writer yet.
+    fn record_fastpath_engine(&self, cap: usize) {
+        let code = if cap == 0 {
+            0
+        } else {
+            self.fastpath_engine_code()
+        };
+        self.stats
+            .record_node_event(EventKind::FastpathEngine, code, cap as u64);
+    }
+
+    /// Returns fast-drained object addresses to their slabs and traces
+    /// the drain. `disabling` distinguishes a toggle-off drain from a
+    /// quiesce/OOM flush in the event payload.
+    fn give_back_fast(&self, addrs: Vec<usize>, disabling: bool) {
+        if addrs.is_empty() {
+            return;
+        }
+        let n = addrs.len() as u64;
+        let objs: Vec<ObjPtr> = addrs
+            .into_iter()
+            // SAFETY: only pointers minted by this cache's `allocate` are
+            // pushed onto the fast path, each drained exactly once.
+            .map(|addr| {
+                ObjPtr::new(unsafe { std::ptr::NonNull::new_unchecked(addr as *mut u8) })
+            })
+            .collect();
+        self.give_back_to_slabs(objs);
+        let _node = self.lock_node();
+        self.stats
+            .record_node_event(EventKind::FastpathDrain, n, disabling as u64);
+    }
+
+    /// Drains fast-parked objects to their slabs (quiesce/OOM paths).
+    /// The fast path stays enabled and refills organically afterwards.
+    fn flush_fastpath(&self) {
+        self.give_back_fast(self.fast.drain(), false);
+    }
+
     /// Attributes a successful allocation that needed the OOM ladder to
     /// the rung that unblocked it (`attempts` = ladder entries so far; 0 =
     /// the fast path, nothing to record). Caller holds the `cpu_idx` slot
@@ -347,6 +424,7 @@ impl SlubCache {
 
     /// Ladder stage 1: drain every CPU cache to its slabs.
     fn oom_flush_cpu_caches(&self) {
+        self.flush_fastpath();
         for (cpu_idx, slot) in self.cpu_caches.iter().enumerate() {
             let mut cache = slot.lock();
             if cache.is_empty() {
@@ -399,6 +477,15 @@ impl SlubCache {
     /// slot lock (immediate frees); the deferred path already counted at
     /// defer time.
     fn release(&self, obj: ObjPtr, count_free: bool) {
+        // Zero-atomic fast path for immediate frees: park the object in
+        // this CPU's slot (its stats fold in at snapshot time). Deferred
+        // callbacks skip it — they must run the pressure bookkeeping
+        // below under the slot lock anyway.
+        if count_free {
+            if let FastPush::Pushed = self.fast.push(obj.addr()) {
+                return;
+            }
+        }
         let (cpu_idx, mut cache) = self.lock_cpu();
         if count_free {
             let shard = self.stats.shard(cpu_idx);
@@ -432,6 +519,13 @@ impl SlubCache {
 
 impl ObjectAllocator for SlubCache {
     fn allocate(&self) -> Result<ObjPtr, AllocError> {
+        if let FastPop::Hit(addr) = self.fast.pop() {
+            // SAFETY: fast-parked addresses originate from `free` on this
+            // cache, each handed out exactly once by the commit protocol.
+            return Ok(ObjPtr::new(unsafe {
+                std::ptr::NonNull::new_unchecked(addr as *mut u8)
+            }));
+        }
         let mut attempts = 0;
         let mut counted_request = false;
         loop {
@@ -554,8 +648,11 @@ impl ObjectAllocator for SlubCache {
     }
 
     fn stats(&self) -> CacheStatsSnapshot {
-        self.stats
-            .snapshot(self.policy.object_size, self.policy.slab_bytes)
+        self.stats.snapshot_with_fastpath(
+            self.policy.object_size,
+            self.policy.slab_bytes,
+            &self.fast.snapshot(),
+        )
     }
 
     fn telemetry(&self) -> pbs_telemetry::ComponentTelemetry {
@@ -563,11 +660,39 @@ impl ObjectAllocator for SlubCache {
     }
 
     fn quiesce(&self) {
+        // Park nothing across a quiesce: fast-cached objects go back to
+        // their slabs so peak/fragmentation measurements stay comparable.
+        self.flush_fastpath();
         self.rcu.barrier();
     }
 
     fn deferred_outstanding(&self) -> usize {
         self.deferred_pending.load(Ordering::Relaxed)
+    }
+
+    fn fastpath_set_enabled(&self, enabled: bool) {
+        let drained = self.fast.set_enabled(enabled);
+        self.give_back_fast(drained, true);
+        let _node = self.lock_node();
+        self.stats.record_node_event(
+            EventKind::FastpathToggle,
+            self.fast.is_enabled() as u64,
+            self.fastpath_engine_code(),
+        );
+    }
+
+    fn fastpath_enabled(&self) -> bool {
+        self.fast.is_enabled()
+    }
+
+    fn fastpath_set_engine(&self, engine: pbs_percpu::Engine) {
+        self.fast.set_engine(engine);
+        let _node = self.lock_node();
+        self.stats.record_node_event(
+            EventKind::FastpathToggle,
+            self.fast.is_enabled() as u64,
+            self.fastpath_engine_code(),
+        );
     }
 }
 
@@ -650,11 +775,18 @@ mod tests {
         }
         let s = c.stats();
         assert!(s.shrinks > 0, "freeing everything should shrink: {s:?}");
-        // Slabs still referenced by per-CPU caches stay partial; everything
-        // beyond CPU caches + the free-slab threshold must have shrunk.
+        // Slabs still referenced by per-CPU caches (slot-locked and
+        // fast-path slots) stay partial; everything beyond those plus the
+        // free-slab threshold must have shrunk.
         let cpu_cached_slabs =
             (2 * c.policy().object_cache_size).div_ceil(c.policy().objects_per_slab);
-        assert!(s.slabs_current <= c.policy().free_slabs_limit + cpu_cached_slabs + 1);
+        let fast_cached_slabs = (pbs_percpu::nslots() * c.policy().object_cache_size)
+            .div_ceil(c.policy().objects_per_slab);
+        assert!(
+            s.slabs_current
+                <= c.policy().free_slabs_limit + cpu_cached_slabs + fast_cached_slabs + 1,
+            "retained too many slabs: {s:?}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of event kinds; sizes the per-lane kind-count arrays.
-pub const KIND_COUNT: usize = 19;
+pub const KIND_COUNT: usize = 22;
 
 /// What happened. The discriminant is the on-ring wire value, so new kinds
 /// must only ever be appended.
@@ -69,6 +69,18 @@ pub enum EventKind {
     /// 2 = expedited GP + merge, 3 = backoff retry; `b` = 1 if the
     /// retried allocation then succeeded).
     OomRecovery = 18,
+    /// The per-CPU fast path selected its engine at cache construction
+    /// (`a` = engine: 0 = off, 1 = rseq, 2 = slot-lock emulation;
+    /// `b` = per-CPU slot capacity in objects).
+    FastpathEngine = 19,
+    /// Fast-parked objects were drained back to the regular caches
+    /// (`a` = objects drained, `b` = 1 if the drain was part of
+    /// disabling the fast path, 0 for a quiesce/flush drain).
+    FastpathDrain = 20,
+    /// The fast path was toggled or its engine switched at runtime
+    /// (`a` = 1 enabled / 0 disabled after the change, `b` = engine now
+    /// in effect: 1 = rseq, 2 = slot-lock emulation).
+    FastpathToggle = 21,
 }
 
 impl EventKind {
@@ -93,6 +105,9 @@ impl EventKind {
         EventKind::GpExpedite,
         EventKind::PressureChange,
         EventKind::OomRecovery,
+        EventKind::FastpathEngine,
+        EventKind::FastpathDrain,
+        EventKind::FastpathToggle,
     ];
 
     /// Stable snake_case name used in exports and kind-count tables.
@@ -117,6 +132,9 @@ impl EventKind {
             EventKind::GpExpedite => "gp_expedite",
             EventKind::PressureChange => "pressure_change",
             EventKind::OomRecovery => "oom_recovery",
+            EventKind::FastpathEngine => "fastpath_engine",
+            EventKind::FastpathDrain => "fastpath_drain",
+            EventKind::FastpathToggle => "fastpath_toggle",
         }
     }
 

@@ -67,7 +67,11 @@ pub fn measure_alloc_cost(object_size: usize, iterations: u64) -> AllocCostRepor
 
     // Regime 1: pure hits. The loop measures alloc+free pairs; an
     // allocation alone is roughly half a pair (the free path mirrors it).
+    // All three regimes disable the per-CPU fast path: §3.3 quantifies
+    // the *baseline* object-cache/refill/grow costs that motivate the
+    // design, so the measurement must reach the regular hit path.
     let cache = bed.create_cache("cost-hit", object_size);
+    cache.fastpath_set_enabled(false);
     let hit_pair_ns = {
         let obj = cache.allocate().expect("warmup allocation");
         // SAFETY: freed exactly once here; reallocated in the loop.
@@ -86,6 +90,7 @@ pub fn measure_alloc_cost(object_size: usize, iterations: u64) -> AllocCostRepor
     // from the allocator's own counters.
     let refill_extra_ns = {
         let cache = bed.create_cache("cost-refill", object_size);
+        cache.fastpath_set_enabled(false);
         let batch = 2 * pbs_alloc_api::SizingPolicy::for_object_size(object_size).object_cache_size;
         let mut held = Vec::with_capacity(batch);
         // Warm: materialize the slabs so the regime refills, not grows.
@@ -121,6 +126,7 @@ pub fn measure_alloc_cost(object_size: usize, iterations: u64) -> AllocCostRepor
     // Regime 3: allocate-only growth from a cold cache.
     let grow_extra_ns = {
         let cache = bed.create_cache("cost-grow", object_size);
+        cache.fastpath_set_enabled(false);
         let n = iterations.min(200_000) as usize;
         let mut held = Vec::with_capacity(n);
         let before = cache.stats();

@@ -2,7 +2,7 @@
 //! seeds, exiting non-zero if any robustness invariant is violated.
 //!
 //! ```text
-//! chaos [--scenario mixed|stalled-reader|oom-storm|all]
+//! chaos [--scenario mixed|stalled-reader|oom-storm|fastpath-flap|all]
 //!       [--seed N | --seeds 1,2,3] [--allocator slub|prudence|both]
 //!       [--duration SECS] [--threads N] [--ops N] [--keys N]
 //!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]

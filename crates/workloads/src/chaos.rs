@@ -33,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use pbs_alloc_api::ObjPtr;
+use pbs_alloc_api::{fastpath_default_engine, FastPathEngine, ObjPtr};
 use pbs_fault::{site, FaultInjector, Schedule};
 use pbs_rcu::RcuConfig;
 use pbs_slub::SlubTuning;
@@ -55,14 +55,20 @@ pub enum ChaosScenario {
     /// grow faults: allocations must climb the recovery ladder and at
     /// least one must be rescued by a ladder stage rather than fail.
     OomStorm,
+    /// A toggler thread flips the per-CPU fast path (disable-with-drain,
+    /// re-enable, engine switch, engine restore) continuously under
+    /// churn: every switchover must stay leak-free and every quiesce
+    /// invariant must still hold at the end.
+    FastpathFlap,
 }
 
 impl ChaosScenario {
     /// Every scenario, in the order the gating matrix runs them.
-    pub const ALL: [ChaosScenario; 3] = [
+    pub const ALL: [ChaosScenario; 4] = [
         ChaosScenario::Mixed,
         ChaosScenario::StalledReader,
         ChaosScenario::OomStorm,
+        ChaosScenario::FastpathFlap,
     ];
 
     /// CLI / report label.
@@ -71,6 +77,7 @@ impl ChaosScenario {
             ChaosScenario::Mixed => "mixed",
             ChaosScenario::StalledReader => "stalled-reader",
             ChaosScenario::OomStorm => "oom-storm",
+            ChaosScenario::FastpathFlap => "fastpath-flap",
         }
     }
 }
@@ -89,8 +96,10 @@ impl std::str::FromStr for ChaosScenario {
             "mixed" => Ok(ChaosScenario::Mixed),
             "stalled-reader" => Ok(ChaosScenario::StalledReader),
             "oom-storm" => Ok(ChaosScenario::OomStorm),
+            "fastpath-flap" => Ok(ChaosScenario::FastpathFlap),
             other => Err(format!(
-                "unknown scenario {other:?} (expected mixed, stalled-reader or oom-storm)"
+                "unknown scenario {other:?} (expected mixed, stalled-reader, oom-storm \
+                 or fastpath-flap)"
             )),
         }
     }
@@ -164,6 +173,13 @@ impl ChaosParams {
                 duration: Some(Duration::from_millis(150)),
                 ..base
             },
+            // Time-bounded so the toggler gets enough wall clock to cycle
+            // through all four flap states many times under live traffic.
+            ChaosScenario::FastpathFlap => Self {
+                scenario,
+                duration: Some(Duration::from_millis(150)),
+                ..base
+            },
         }
     }
 }
@@ -209,6 +225,14 @@ pub struct ChaosReport {
     pub ladder_recoveries: u64,
     /// Pressure-level transitions across all caches.
     pub pressure_transitions: u64,
+    /// Per-CPU fast-path hits (alloc + free) across all caches.
+    pub fastpath_hits: u64,
+    /// Fast-path operations that bounced to the slow path across all
+    /// caches (empty/full slots, disabled windows, engine switches).
+    pub fastpath_fallbacks: u64,
+    /// Fast-path state changes the flap toggler performed (0 outside the
+    /// fastpath-flap scenario).
+    pub fastpath_flips: u64,
     /// Invariant violations; empty on a passing run.
     pub violations: Vec<String>,
 }
@@ -223,7 +247,8 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         format!(
             "chaos[{} {} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
-             {} warns, {} expedited, {} rescued, peak {}/{} KiB, {} panics — {}",
+             {} warns, {} expedited, {} rescued, fastpath {}h/{}f/{} flips, \
+             peak {}/{} KiB, {} panics — {}",
             self.allocator,
             self.scenario,
             self.seed,
@@ -234,6 +259,9 @@ impl ChaosReport {
             self.stall_warnings,
             self.expedited_gps,
             self.ladder_recoveries,
+            self.fastpath_hits,
+            self.fastpath_fallbacks,
+            self.fastpath_flips,
             self.peak_bytes >> 10,
             self.limit_bytes >> 10,
             self.panics,
@@ -280,7 +308,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     let mut slub_tuning = None;
     let mut prudence_config = None;
     match params.scenario {
-        ChaosScenario::Mixed => {}
+        ChaosScenario::Mixed | ChaosScenario::FastpathFlap => {}
         ChaosScenario::StalledReader => {
             rcu_config = rcu_config.with_stall_threshold(Duration::from_millis(2));
             staller_hold = Duration::from_millis(8);
@@ -326,7 +354,44 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     let mut panics = 0u64;
 
     let stop_staller = Arc::new(AtomicBool::new(false));
+    let mut fastpath_flips = 0u64;
     std::thread::scope(|s| {
+        // Fast-path flapper: cycles every cache through
+        // disable(+drain) → enable → portable engine → default engine
+        // while the workers churn, so every switchover direction runs
+        // against live traffic. Ends by restoring the enabled/default
+        // state so the quiesce invariants check a healthy fast path.
+        let flapper = (params.scenario == ChaosScenario::FastpathFlap).then(|| {
+            let caches = [
+                Arc::clone(&node_cache),
+                Arc::clone(&obj_cache),
+                Arc::clone(&storm_cache),
+            ];
+            let stop = Arc::clone(&stop_staller);
+            s.spawn(move || {
+                let mut flips = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for cache in &caches {
+                        match i % 4 {
+                            0 => cache.fastpath_set_enabled(false),
+                            1 => cache.fastpath_set_enabled(true),
+                            2 => cache.fastpath_set_engine(FastPathEngine::Locks),
+                            _ => cache.fastpath_set_engine(fastpath_default_engine()),
+                        }
+                        flips += 1;
+                    }
+                    i += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                for cache in &caches {
+                    cache.fastpath_set_engine(fastpath_default_engine());
+                    cache.fastpath_set_enabled(true);
+                    flips += 2;
+                }
+                flips
+            })
+        });
         // Stalled reader: pins read-side critical sections in long pulses,
         // starving grace-period advance while free_deferred traffic from
         // the workers keeps arriving. Pulses (not one endless pin) keep the
@@ -504,6 +569,12 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         if staller.join().is_err() {
             panics += 1;
         }
+        if let Some(flapper) = flapper {
+            match flapper.join() {
+                Ok(flips) => fastpath_flips = flips,
+                Err(_) => panics += 1,
+            }
+        }
     });
 
     // Quiesce with the staller gone: every deferred object must drain.
@@ -586,6 +657,10 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     let pressure_transitions = node_stats.pressure_transitions
         + obj_stats.pressure_transitions
         + storm_stats.pressure_transitions;
+    let fastpath_hits = node_stats.rseq_hits + obj_stats.rseq_hits + storm_stats.rseq_hits;
+    let fastpath_fallbacks = node_stats.fastpath_fallbacks
+        + obj_stats.fastpath_fallbacks
+        + storm_stats.fastpath_fallbacks;
     match params.scenario {
         ChaosScenario::Mixed => {}
         ChaosScenario::StalledReader => {
@@ -596,6 +671,39 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         ChaosScenario::OomStorm => {
             if ladder_recoveries == 0 {
                 violations.push("oom-storm: no allocation recovered via a ladder stage".into());
+            }
+        }
+        ChaosScenario::FastpathFlap => {
+            if fastpath_flips == 0 {
+                violations.push("fastpath-flap: toggler never flipped".into());
+            }
+            // Flapping must leave evidence: during disabled/switching
+            // windows operations bounce (fallbacks), during enabled
+            // windows they hit. A run where neither moved means the flap
+            // never raced live traffic.
+            if fastpath_hits + fastpath_fallbacks == 0 {
+                violations.push("fastpath-flap: fast path saw no traffic".into());
+            }
+            for (cache, stats) in [
+                (&node_cache, &node_stats),
+                (&obj_cache, &obj_stats),
+                (&storm_cache, &storm_stats),
+            ] {
+                if !cache.fastpath_enabled() {
+                    violations.push(format!(
+                        "fastpath-flap: {} ended with the fast path disabled",
+                        cache.name()
+                    ));
+                }
+                // A quiesced cache has drained its fast slots: nothing
+                // parked may survive into the post-quiesce accounting
+                // (live_objects == 0 is asserted above for every run).
+                if stats.live_objects != 0 {
+                    violations.push(format!(
+                        "fastpath-flap: {} holds parked objects after quiesce",
+                        cache.name()
+                    ));
+                }
             }
         }
     }
@@ -630,6 +738,9 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         expedited_gps: rcu_stats.expedited_gps,
         ladder_recoveries,
         pressure_transitions,
+        fastpath_hits,
+        fastpath_fallbacks,
+        fastpath_flips,
         violations,
     }
 }
@@ -716,6 +827,33 @@ mod tests {
             );
             assert!(report.ladder_recoveries >= 1, "{}", report.render());
             assert!(report.peak_bytes <= report.limit_bytes);
+            assert_eq!(report.panics, 0);
+        }
+    }
+
+    #[test]
+    fn fastpath_flap_scenario_survives_switchovers() {
+        let params = ChaosParams {
+            threads: 2,
+            seed: 17,
+            duration: Some(Duration::from_millis(80)),
+            ..ChaosParams::for_scenario(ChaosScenario::FastpathFlap)
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(
+                report.passed(),
+                "{}\nreplay: {}",
+                report.render(),
+                report.replay_command()
+            );
+            assert!(report.fastpath_flips >= 1, "{}", report.render());
+            assert!(
+                report.fastpath_hits + report.fastpath_fallbacks >= 1,
+                "{}",
+                report.render()
+            );
+            assert_eq!(report.deferred_outstanding_end, 0);
             assert_eq!(report.panics, 0);
         }
     }

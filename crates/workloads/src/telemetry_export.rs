@@ -97,6 +97,9 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
             ("pbs_cache_oom_waits_total", s.oom_waits),
             ("pbs_cache_pressure_transitions_total", s.pressure_transitions),
             ("pbs_cache_assisted_merges_total", s.assisted_merges),
+            ("pbs_cache_fastpath_hits_total", s.rseq_hits),
+            ("pbs_cache_fastpath_restarts_total", s.rseq_restarts),
+            ("pbs_cache_fastpath_fallbacks_total", s.fastpath_fallbacks),
         ] {
             counter(&mut out, metric, &labels, value);
         }
@@ -233,7 +236,7 @@ fn push_component_events(
 
 /// Series every healthy run must expose; [`validate_prometheus`] fails
 /// when any is absent.
-pub const REQUIRED_PROM_SERIES: [&str; 10] = [
+pub const REQUIRED_PROM_SERIES: [&str; 12] = [
     "pbs_rcu_gp_advances_total",
     "pbs_rcu_membarrier_advances_total",
     "pbs_rcu_fallback_fence_advances_total",
@@ -243,6 +246,8 @@ pub const REQUIRED_PROM_SERIES: [&str; 10] = [
     "pbs_rcu_gp_latency_ns_bucket",
     "pbs_cache_pressure_level",
     "pbs_cache_oom_recoveries_total",
+    "pbs_cache_fastpath_hits_total",
+    "pbs_cache_fastpath_fallbacks_total",
     "pbs_events_total",
 ];
 
@@ -408,6 +413,12 @@ mod tests {
         assert!(text.contains("pbs_rcu_gp_latency_ns_bucket"));
         assert!(text.contains("kind=\"latent_stamp\""));
         assert!(text.contains("cache=\"kmalloc-64\""));
+        // The fast path reports its engine choice at construction and its
+        // counters in every cache's series.
+        assert!(text.contains("kind=\"fastpath_engine\""));
+        assert!(text.contains("pbs_cache_fastpath_hits_total{cache=\"kmalloc-64\"}"));
+        assert!(text.contains("pbs_cache_fastpath_restarts_total{cache=\"kmalloc-64\"}"));
+        assert!(text.contains("pbs_cache_fastpath_fallbacks_total{cache=\"kmalloc-64\"}"));
     }
 
     #[test]
@@ -460,6 +471,8 @@ mod tests {
              pbs_rcu_gp_latency_ns_bucket{{le=\"+Inf\"}} 0\n\
              pbs_cache_pressure_level{{cache=\"t\"}} 0\n\
              pbs_cache_oom_recoveries_total{{cache=\"t\",stage=\"1\"}} 0\n\
+             pbs_cache_fastpath_hits_total{{cache=\"t\"}} 0\n\
+             pbs_cache_fastpath_fallbacks_total{{cache=\"t\"}} 0\n\
              pbs_events_total{{component=\"rcu\",kind=\"gp_begin\"}} 0\n"
         ))
         .unwrap();

@@ -225,6 +225,27 @@ proptest! {
     ) {
         check_faulted(make_slub, site::RCU_ADVANCE, seed, f64::from(fault_pm) / 1000.0, &ops);
     }
+
+    #[test]
+    fn prudence_survives_fastpath_flips(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        seed in any::<u64>(),
+        fault_pm in 0u32..600,
+    ) {
+        // Each injected fault flips the per-CPU fast path live mid-run;
+        // the usual invariants (no panic, balanced accounting, no page
+        // leak) must hold across arbitrarily many switchovers.
+        check_faulted(make_prudence, site::FASTPATH_DISABLE, seed, f64::from(fault_pm) / 1000.0, &ops);
+    }
+
+    #[test]
+    fn slub_survives_fastpath_flips(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        seed in any::<u64>(),
+        fault_pm in 0u32..600,
+    ) {
+        check_faulted(make_slub, site::FASTPATH_DISABLE, seed, f64::from(fault_pm) / 1000.0, &ops);
+    }
 }
 
 /// Invariant 4: under a total page-allocation blackout, a fresh cache's
@@ -253,6 +274,52 @@ fn blackout_errors_propagate_from_both_allocators() {
         assert_eq!(cache.stats().live_objects, 0);
         drop(cache);
         assert_eq!(pages.used_bytes(), 0, "{label}: blackout charged pages");
+    }
+}
+
+/// Forced fast-path switchover, deterministic direction: with
+/// `fastpath.disable` armed on every refill, the per-CPU fast path flips
+/// off (draining parked objects) and back on continuously under churn.
+/// The run must stay leak-free and accounting-balanced, and the bounced
+/// operations must show up in the `fastpath_fallbacks` counter.
+#[test]
+fn forced_fastpath_disable_is_leak_free() {
+    type Make = fn(Arc<PageAllocator>, Arc<Rcu>) -> Arc<dyn ObjectAllocator>;
+    let makes: [(&str, Make); 2] = [("prudence", make_prudence), ("slub", make_slub)];
+    for (label, make) in makes {
+        let faults = Arc::new(FaultInjector::new(7));
+        faults.schedule(site::FASTPATH_DISABLE, Schedule::EveryKth(1));
+        let pages = Arc::new(
+            PageAllocator::builder()
+                .fault_injector(Arc::clone(&faults))
+                .build(),
+        );
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let cache = make(Arc::clone(&pages), rcu);
+        let mut live: Vec<ObjPtr> = Vec::new();
+        for _ in 0..8 {
+            for _ in 0..512 {
+                live.push(cache.allocate().expect("no OOM faults armed"));
+            }
+            for obj in live.drain(..) {
+                // SAFETY: each object freed exactly once.
+                unsafe { cache.free(obj) };
+            }
+        }
+        assert!(
+            faults.injected(site::FASTPATH_DISABLE) >= 1,
+            "{label}: churn never reached a refill"
+        );
+        cache.quiesce();
+        let stats = cache.stats();
+        assert_eq!(stats.live_objects, 0, "{label}: accounting diverged");
+        assert!(
+            stats.fastpath_fallbacks >= 1,
+            "{label}: disabled fast path never bounced an operation"
+        );
+        assert_eq!(cache.deferred_outstanding(), 0);
+        drop(cache);
+        assert_eq!(pages.used_bytes(), 0, "{label}: pages leaked across flips");
     }
 }
 
