@@ -137,6 +137,16 @@ pub trait ObjectAllocator: Send + Sync {
     /// [`Rcu::id`](pbs_rcu::Rcu::id) before traversing.
     fn rcu(&self) -> &std::sync::Arc<pbs_rcu::Rcu>;
 
+    /// The reclamation domain this allocator's deferred frees route
+    /// through, when it is attached to one (`None` for allocators that
+    /// predate the pluggable backends or run pure epoch machinery).
+    /// Harnesses use this to read backend stats and drive
+    /// [`advance`](pbs_rcu::reclaim::ReclamationDomain::advance) without
+    /// knowing the concrete cache type.
+    fn reclaim_domain(&self) -> Option<&std::sync::Arc<dyn pbs_rcu::reclaim::ReclamationDomain>> {
+        None
+    }
+
     /// Snapshot of the cache statistics (Figures 7–11 inputs).
     fn stats(&self) -> CacheStatsSnapshot;
 

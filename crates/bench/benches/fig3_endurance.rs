@@ -26,6 +26,7 @@ fn bench_fig3(c: &mut Criterion) {
                     duration: Duration::from_millis((iters * 20).clamp(100, 800)),
                     memory_limit: 96 << 20,
                     sample_interval: Duration::from_millis(10),
+                    reclaim: None,
                 };
                 let start = std::time::Instant::now();
                 let report = run_endurance(kind, &params);
@@ -43,6 +44,7 @@ fn bench_fig3(c: &mut Criterion) {
         duration: Duration::from_millis(1500),
         memory_limit: 8 << 20,
         sample_interval: Duration::from_millis(10),
+        reclaim: None,
     };
     for kind in AllocatorKind::BOTH {
         let report = run_endurance(kind, &params);

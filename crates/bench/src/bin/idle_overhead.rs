@@ -141,6 +141,7 @@ fn measure_pair_loop(threads: usize, duration: Duration, armed: bool) -> f64 {
         None,
         None,
         Some(PrudenceConfig::new(threads).with_watermarks(soft, hard)),
+        None,
     );
     // Registered (never pinned) readers: the watchdog scan on the driver
     // thread walks real records, as it would in a live system at idle.

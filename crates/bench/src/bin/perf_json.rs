@@ -73,8 +73,8 @@ fn main() {
     let duration = Duration::from_secs_f64(secs);
     let meta = run_metadata();
     println!(
-        "run metadata: rev={} nproc={} kernel={} engine={}",
-        meta.git_rev, meta.nproc, meta.kernel, meta.fastpath_engine
+        "run metadata: rev={} nproc={} kernel={} engine={} reclaim={}",
+        meta.git_rev, meta.nproc, meta.kernel, meta.fastpath_engine, meta.reclaim_backend
     );
 
     // Figure 6 regime: alloc + deferred free, contended per-CPU state.
@@ -141,6 +141,11 @@ struct RunMeta {
     fastpath_engine: String,
     /// Value of `PBS_FASTPATH` if the run was forced, else null.
     fastpath_override: Option<String>,
+    /// Reclamation backend new testbeds select here ("epoch" / "hp" /
+    /// "hyaline"), after any `PBS_RECLAIM` override.
+    reclaim_backend: String,
+    /// Value of `PBS_RECLAIM` if the run was forced, else null.
+    reclaim_override: Option<String>,
 }
 
 fn run_metadata() -> RunMeta {
@@ -165,6 +170,10 @@ fn run_metadata() -> RunMeta {
             pbs_alloc_api::fastpath_default_engine().label().to_string()
         },
         fastpath_override: std::env::var("PBS_FASTPATH").ok(),
+        reclaim_backend: pbs_rcu::reclaim::ReclaimBackend::from_env()
+            .label()
+            .to_string(),
+        reclaim_override: std::env::var("PBS_RECLAIM").ok(),
     }
 }
 

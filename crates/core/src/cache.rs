@@ -16,6 +16,7 @@ use pbs_alloc_api::{
 };
 use pbs_mem::PageAllocator;
 use pbs_percpu::{FastCache, FastPop, FastPush};
+use pbs_rcu::reclaim::{DomainHandle, EpochDomain, ReclaimClient, ReclamationDomain};
 use pbs_rcu::{GpState, Rcu};
 use pbs_telemetry::EventKind;
 
@@ -57,6 +58,11 @@ pub(crate) struct Inner {
     deferred_outstanding: AtomicUsize,
     /// Pre-flush request channel; taken (closed) when the cache drops.
     preflush_tx: Mutex<Option<Sender<usize>>>,
+    /// The attached reclamation domain. Set once right after construction
+    /// (the handle needs a `Weak` to this `Inner`); the epoch backend
+    /// leaves the latent machinery in charge, robust backends divert
+    /// deferred objects into the domain.
+    reclaim: std::sync::OnceLock<DomainHandle>,
 }
 
 impl std::fmt::Debug for PrudenceCache {
@@ -89,6 +95,24 @@ impl PrudenceCache {
         pages: Arc<PageAllocator>,
         rcu: Arc<Rcu>,
     ) -> Self {
+        let domain: Arc<dyn ReclamationDomain> = Arc::new(EpochDomain::new(Arc::clone(&rcu)));
+        Self::with_domain(name, object_size, config, pages, domain)
+    }
+
+    /// Like [`new`](Self::new), but integrated with an explicit
+    /// [`ReclamationDomain`] instead of the default epoch backend. With a
+    /// *robust* backend (`hp`/`hyaline`) deferred frees bypass the latent
+    /// caches and route through the domain, which bounds the garbage one
+    /// stalled reader can pin; with the epoch backend the cache behaves
+    /// exactly like [`new`](Self::new) (the paper's scheme).
+    pub fn with_domain(
+        name: &str,
+        object_size: usize,
+        config: PrudenceConfig,
+        pages: Arc<PageAllocator>,
+        domain: Arc<dyn ReclamationDomain>,
+    ) -> Self {
+        let rcu = Arc::clone(domain.rcu());
         let policy = SizingPolicy::for_object_size(object_size);
         let (tx, rx) = unbounded();
         let preflush_enabled = config.preflush;
@@ -112,7 +136,10 @@ impl PrudenceCache {
             node: Mutex::new(Node::default()),
             deferred_outstanding: AtomicUsize::new(0),
             preflush_tx: Mutex::new(preflush_enabled.then_some(tx)),
+            reclaim: std::sync::OnceLock::new(),
         });
+        let weak = Arc::downgrade(&inner) as std::sync::Weak<dyn ReclaimClient>;
+        let _ = inner.reclaim.set(DomainHandle::attach(domain, weak));
         inner.record_fastpath_engine(fast_cap);
         let worker = preflush_enabled.then(|| {
             let weak = Arc::downgrade(&inner);
@@ -137,6 +164,11 @@ impl PrudenceCache {
     /// The RCU domain this cache is integrated with.
     pub fn rcu(&self) -> &Arc<Rcu> {
         &self.inner.rcu
+    }
+
+    /// The reclamation domain this cache is attached to.
+    pub fn reclaim_domain(&self) -> &Arc<dyn ReclamationDomain> {
+        &self.inner.hook().domain
     }
 }
 
@@ -170,6 +202,23 @@ impl Drop for Inner {
 const SLOT_SPIN: usize = 24;
 
 impl Inner {
+    /// The domain attachment (set once during construction; the accessor
+    /// keeps the hot-path call sites to one Acquire load + unwrap).
+    fn hook(&self) -> &DomainHandle {
+        self.reclaim.get().expect("domain attached at construction")
+    }
+
+    /// Backend-generic blocking drain: every defer issued before this
+    /// call is reusable when it returns.
+    fn domain_synchronize(&self, expedited: bool) {
+        let hook = self.hook();
+        if expedited {
+            hook.domain.synchronize_expedited();
+        } else {
+            hook.domain.synchronize();
+        }
+    }
+
     fn lock_node(&self) -> MutexGuard<'_, Node> {
         if let Some(guard) = self.node.try_lock() {
             return guard;
@@ -260,7 +309,7 @@ impl Inner {
     fn apply_backpressure(&self, transition: Option<(usize, usize)>) {
         if let Some((from, to)) = transition {
             if to > from {
-                self.rcu.expedite();
+                self.hook().domain.expedite();
             }
         }
         if self.stats.pressure_level.load(Ordering::Relaxed) >= 2 {
@@ -274,6 +323,13 @@ impl Inner {
     /// stay short since they run on the free path.
     fn assist_reclaim(&self) {
         self.stats.assisted_merges.fetch_add(1, Ordering::Relaxed);
+        let hook = self.hook();
+        if hook.robust {
+            // Robust backends hold the backlog themselves: one bounded
+            // progress step (scan / seal + release) is the assist.
+            hook.domain.advance();
+            return;
+        }
         let (cpu_idx, mut cpu) = self.lock_cpu();
         self.merge_caches(cpu_idx, &mut cpu, 0);
         drop(cpu);
@@ -867,11 +923,7 @@ impl Inner {
     /// everything reclaimable.
     fn emergency_reclaim(&self, expedited: bool) {
         self.flush_fastpath();
-        if expedited {
-            self.rcu.synchronize_expedited();
-        } else {
-            self.rcu.synchronize();
-        }
+        self.domain_synchronize(expedited);
         // Push all per-CPU latent objects to their slabs so the sweep below
         // can free whole slabs.
         for (cpu_idx, state) in self.cpu_states.iter().enumerate() {
@@ -893,6 +945,10 @@ impl Inner {
 
     /// FREE_DEFERRED (Algorithm lines 34-51) plus backlog backpressure.
     fn free_deferred_inner(&self, obj: ObjPtr) {
+        let hook = self.hook();
+        if hook.robust {
+            return self.free_deferred_robust(hook, obj);
+        }
         let outstanding = self.deferred_outstanding.fetch_add(1, Ordering::Relaxed) + 1;
         let transition = self.update_pressure(outstanding);
         let gp = self.rcu.gp_state(); // line 35
@@ -931,6 +987,37 @@ impl Inner {
         self.stamp_latent(cpu_idx, cpu, obj, gp, queued_ns);
         // Locks dropped: safe to expedite / assist without convoying the
         // slot behind a grace-period drive.
+        self.apply_backpressure(transition);
+    }
+
+    /// Deferred free under a robust backend: the object skips the latent
+    /// machinery entirely and enters the domain, which returns it through
+    /// [`ReclaimClient::reclaim_addrs`] once no captured reader can hold
+    /// it. Outstanding-count, pressure, and per-shard accounting stay
+    /// identical to the epoch path so the watchdog/OOM governors and the
+    /// comparison harnesses read the same gauges for every backend.
+    fn free_deferred_robust(&self, hook: &DomainHandle, obj: ObjPtr) {
+        let outstanding = self.deferred_outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        let transition = self.update_pressure(outstanding);
+        let (cpu_idx, mut cpu) = self.lock_cpu();
+        let shard = self.stats.shard(cpu_idx);
+        shard.deferred_frees.bump();
+        shard.live_delta.bump_sub();
+        cpu.defers_since += 1;
+        if let Some((_, to)) = transition {
+            self.stats.ring.record(
+                cpu_idx,
+                EventKind::PressureChange,
+                self.stats.id(),
+                to as u64,
+                outstanding as u64,
+            );
+        }
+        // Drop the slot lock before entering the domain: a defer can
+        // trigger a scan or batch seal whose delivery calls back into
+        // `reclaim_addrs` (node lock) on this thread.
+        drop(cpu);
+        hook.domain.defer(hook.client, obj.addr());
         self.apply_backpressure(transition);
     }
 
@@ -1006,7 +1093,7 @@ impl Inner {
             if self.deferred_outstanding.load(Ordering::Relaxed) == 0 {
                 return;
             }
-            self.rcu.synchronize();
+            self.domain_synchronize(false);
             for (cpu_idx, state) in self.cpu_states.iter().enumerate() {
                 let mut cpu = state.lock();
                 self.merge_caches(cpu_idx, &mut cpu, 0);
@@ -1023,6 +1110,32 @@ impl Inner {
             0,
             "quiesce failed to drain deferred objects"
         );
+    }
+}
+
+impl ReclaimClient for Inner {
+    /// Domain delivery: the backend proved no captured reader can still
+    /// hold these objects, so they go straight back to their slabs (the
+    /// same motion as an object-cache flush). Runs with no domain locks
+    /// held and never re-enters the domain.
+    fn reclaim_addrs(&self, addrs: &[usize]) {
+        if addrs.is_empty() {
+            return;
+        }
+        {
+            let mut node = self.lock_node();
+            for &addr in addrs {
+                // SAFETY: the domain only returns addresses this cache
+                // deferred into it, each exactly once; the node lock is
+                // held.
+                let obj = ObjPtr::new(unsafe { NonNull::new_unchecked(addr as *mut u8) });
+                let index = unsafe { node.resolve(obj, self.policy.slab_bytes) };
+                node.slab_mut(index).raw.give_back(obj);
+                node.relist(index);
+            }
+            self.shrink(&mut node);
+        }
+        self.note_reclaimed(addrs.len());
     }
 }
 
@@ -1063,6 +1176,10 @@ impl ObjectAllocator for PrudenceCache {
 
     fn rcu(&self) -> &Arc<Rcu> {
         &self.inner.rcu
+    }
+
+    fn reclaim_domain(&self) -> Option<&Arc<dyn ReclamationDomain>> {
+        Some(PrudenceCache::reclaim_domain(self))
     }
 
     fn stats(&self) -> CacheStatsSnapshot {
@@ -1460,5 +1577,69 @@ mod tests {
             c.quiesce();
         }
         assert_eq!(pages.used_bytes(), 0);
+    }
+
+    fn robust_cache(
+        backend: pbs_rcu::reclaim::ReclaimBackend,
+    ) -> (Arc<PrudenceCache>, Arc<PageAllocator>, Arc<Rcu>) {
+        use pbs_rcu::reclaim::{domain_for, ReclaimConfig};
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let domain = domain_for(Arc::clone(&rcu), backend, ReclaimConfig::aggressive());
+        let c = Arc::new(PrudenceCache::with_domain(
+            "t",
+            64,
+            PrudenceConfig::new(2),
+            Arc::clone(&pages),
+            domain,
+        ));
+        (c, pages, rcu)
+    }
+
+    #[test]
+    fn robust_backends_bound_garbage_under_a_stalled_reader() {
+        use pbs_rcu::reclaim::ReclaimBackend;
+        for backend in [ReclaimBackend::Hp, ReclaimBackend::Hyaline] {
+            let (c, pages, rcu) = robust_cache(backend);
+            let reader = rcu.register();
+            let guard = reader.read_lock();
+            let objs: Vec<ObjPtr> = (0..512).map(|_| c.allocate().unwrap()).collect();
+            for o in objs {
+                unsafe { c.free_deferred(o) };
+            }
+            // Give the hyaline ejector its window (aggressive: 2ms), then
+            // one progress step. The reader is STILL pinned.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            c.reclaim_domain().advance();
+            let outstanding = c.deferred_outstanding();
+            assert!(
+                outstanding <= 128,
+                "{backend}: stalled reader pinned {outstanding} objects"
+            );
+            // Epoch in the same position wedges at 512 (see
+            // `deferred_objects_invisible_until_grace_period`).
+            c.quiesce();
+            assert_eq!(c.deferred_outstanding(), 0, "{backend}: quiesce under pin");
+            drop(guard);
+            drop(c);
+            assert_eq!(pages.used_bytes(), 0, "{backend}: pages leaked");
+        }
+    }
+
+    #[test]
+    fn epoch_domain_cache_matches_plain_construction() {
+        // `new` and `with_domain(EpochDomain)` are the same cache: the
+        // latent machinery stays in charge and quiesce drains through it.
+        let (c, _p, rcu) = cache(64);
+        assert_eq!(
+            c.reclaim_domain().backend(),
+            pbs_rcu::reclaim::ReclaimBackend::Epoch
+        );
+        let a = c.allocate().unwrap();
+        unsafe { c.free_deferred(a) };
+        assert_eq!(c.deferred_outstanding(), 1);
+        rcu.synchronize();
+        c.quiesce();
+        assert_eq!(c.deferred_outstanding(), 0);
     }
 }

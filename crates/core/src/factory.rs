@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use pbs_alloc_api::{CacheFactory, ObjectAllocator};
 use pbs_mem::PageAllocator;
+use pbs_rcu::reclaim::ReclamationDomain;
 use pbs_rcu::Rcu;
 
 use crate::{PrudenceCache, PrudenceConfig};
@@ -29,18 +30,50 @@ use crate::{PrudenceCache, PrudenceConfig};
 /// assert_eq!(cache.object_size(), 192);
 /// assert_eq!(f.label(), "prudence");
 /// ```
-#[derive(Debug)]
 pub struct PrudenceFactory {
     config: PrudenceConfig,
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
+    /// Shared reclamation domain for every minted cache; `None` lets each
+    /// cache attach its own default epoch backend.
+    domain: Option<Arc<dyn ReclamationDomain>>,
+}
+
+impl std::fmt::Debug for PrudenceFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrudenceFactory")
+            .field("config", &self.config)
+            .field("backend", &self.domain.as_ref().map(|d| d.backend()))
+            .finish()
+    }
 }
 
 impl PrudenceFactory {
     /// Creates a factory; every cache it mints shares `pages`, `rcu` and
     /// `config`.
     pub fn new(config: PrudenceConfig, pages: Arc<PageAllocator>, rcu: Arc<Rcu>) -> Self {
-        Self { config, pages, rcu }
+        Self {
+            config,
+            pages,
+            rcu,
+            domain: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but every minted cache shares `domain`
+    /// (one retire stream / batch stream across the whole subsystem, the
+    /// way all caches already share one `rcu`).
+    pub fn with_domain(
+        config: PrudenceConfig,
+        pages: Arc<PageAllocator>,
+        domain: Arc<dyn ReclamationDomain>,
+    ) -> Self {
+        Self {
+            config,
+            pages,
+            rcu: Arc::clone(domain.rcu()),
+            domain: Some(domain),
+        }
     }
 
     /// The shared page allocator.
@@ -61,13 +94,22 @@ impl PrudenceFactory {
 
 impl CacheFactory for PrudenceFactory {
     fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
-        Arc::new(PrudenceCache::new(
-            name,
-            object_size,
-            self.config.clone(),
-            Arc::clone(&self.pages),
-            Arc::clone(&self.rcu),
-        ))
+        match &self.domain {
+            Some(domain) => Arc::new(PrudenceCache::with_domain(
+                name,
+                object_size,
+                self.config.clone(),
+                Arc::clone(&self.pages),
+                Arc::clone(domain),
+            )),
+            None => Arc::new(PrudenceCache::new(
+                name,
+                object_size,
+                self.config.clone(),
+                Arc::clone(&self.pages),
+                Arc::clone(&self.rcu),
+            )),
+        }
     }
 
     fn label(&self) -> &str {

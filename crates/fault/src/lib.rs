@@ -55,6 +55,13 @@ pub mod site {
     /// One grace-period advance attempt in `pbs_rcu`; an injected fault
     /// refuses the advance, stalling reclamation for that attempt.
     pub const RCU_ADVANCE: &str = "rcu.advance";
+    /// One reclamation-progress step in any `ReclamationDomain` backend —
+    /// the generalization of [`RCU_ADVANCE`] to the non-epoch schemes. An
+    /// injected fault refuses the step (a hazard-pointer scan, a
+    /// Hyaline-style batch seal, or — alongside `rcu.advance` — an epoch
+    /// advance), which only procrastinates reclamation and is therefore
+    /// always safe to inject.
+    pub const RECLAIM_ADVANCE: &str = "reclaim.advance";
     /// Consulted by both caches' refill slow paths. Each injected fault
     /// flips the per-CPU fast path live — off (draining parked objects
     /// back to the regular caches) when it is on, back on otherwise — so

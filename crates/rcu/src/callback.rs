@@ -323,8 +323,9 @@ pub(crate) fn reclaimer_loop(inner: &Inner, worker_idx: usize) {
             inner.stats.record_processed(processed as u64);
         }
         // Pacing: even with work pending, the kernel's softirq yields the
-        // CPU between batches. This is what throttles reclamation.
-        std::thread::sleep(inner.config.batch_interval);
+        // CPU between batches. This is what throttles reclamation. The
+        // shutdown-aware park keeps teardown from waiting an interval out.
+        inner.park(inner.config.batch_interval);
     }
 }
 

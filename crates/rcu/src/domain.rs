@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use pbs_telemetry::{ComponentTelemetry, EventKind, EventRing, NamedHistogram};
 
 use crate::callback::{reclaimer_loop, Callback, CallbackShard, RcuConfig};
-use crate::epoch::{GpState, ThreadRecord};
+use crate::epoch::{GpState, ThreadRecord, HP_SLOTS};
 use crate::membarrier;
 use crate::stats::{RcuStats, StatsInner};
 
@@ -38,6 +38,11 @@ pub(crate) struct Inner {
     pub(crate) shard_cursor: AtomicUsize,
     pub(crate) backlog: AtomicUsize,
     pub(crate) shutdown: AtomicBool,
+    /// Pairs with `park_cv`: worker threads sleep on this between passes so
+    /// `Drop` can cut a pending interval short instead of waiting it out
+    /// (tests park the driver with hour-long intervals).
+    pub(crate) park_lock: std::sync::Mutex<()>,
+    pub(crate) park_cv: std::sync::Condvar,
     pub(crate) stats: StatsInner,
     pub(crate) ring: EventRing,
 }
@@ -50,9 +55,14 @@ impl Inner {
         // Injected grace-period stall: refuse this attempt outright, as if
         // a pinned reader were lagging. Refusing an advance is always safe
         // (it only procrastinates harder), which is what makes this fault
-        // injectable at will without a soundness question.
+        // injectable at will without a soundness question. Both the
+        // epoch-specific site and its backend-generic generalization are
+        // consulted (each counts its call either way, so harnesses can
+        // compare injected totals against the stall stat).
         if let Some(faults) = &self.config.fault_injector {
-            if faults.should_fail(pbs_fault::site::RCU_ADVANCE) {
+            let stall = faults.should_fail(pbs_fault::site::RCU_ADVANCE);
+            let stall = faults.should_fail(pbs_fault::site::RECLAIM_ADVANCE) || stall;
+            if stall {
                 self.stats.injected_gp_stalls.fetch_add(1, Ordering::Relaxed);
                 return self.epoch.load(Ordering::Acquire);
             }
@@ -287,6 +297,28 @@ impl Inner {
         }
     }
 
+    /// Shutdown-aware sleep for worker threads: waits up to `timeout` or
+    /// until `Drop` signals `park_cv`. The shutdown flag is re-checked
+    /// under the lock, so a signal sent before the wait begins is never
+    /// missed — without this, `Drop` blocks for a full `driver_interval`
+    /// (an hour, in tests that park the driver).
+    pub(crate) fn park(&self, timeout: Duration) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = self
+            .park_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = self
+            .park_cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+
     fn warn_stall(&self, record_id: u64, stalled_for_ns: u64) {
         self.stats.stall_warnings.fetch_add(1, Ordering::Relaxed);
         self.stats.active_stalls.fetch_add(1, Ordering::Relaxed);
@@ -396,6 +428,8 @@ impl Rcu {
             shard_cursor: AtomicUsize::new(0),
             backlog: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            park_lock: std::sync::Mutex::new(()),
+            park_cv: std::sync::Condvar::new(),
             stats: StatsInner::default(),
             ring: EventRing::new(TRACE_LANES, TRACE_LANE_CAPACITY),
         });
@@ -416,7 +450,7 @@ impl Rcu {
                         while !inner.shutdown.load(Ordering::SeqCst) {
                             inner.try_advance();
                             inner.watchdog_scan(&mut watch);
-                            std::thread::sleep(inner.config.driver_interval);
+                            inner.park(inner.config.driver_interval);
                         }
                     })
                     .expect("spawn rcu gp driver"),
@@ -585,11 +619,27 @@ impl Rcu {
     pub fn config(&self) -> &RcuConfig {
         &self.inner.config
     }
+
+    /// Crate-internal handle to the shared domain state; the `reclaim`
+    /// backends walk the reader registry and reuse the trace ring and
+    /// fault configuration through this.
+    pub(crate) fn inner(&self) -> &Arc<Inner> {
+        &self.inner
+    }
 }
 
 impl Drop for Rcu {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Taking the park lock orders the store above before any waiter's
+        // under-lock re-check, so no worker can sleep through the signal.
+        drop(
+            self.inner
+                .park_lock
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        self.inner.park_cv.notify_all();
         let current = std::thread::current().id();
         for h in self.workers.lock().drain(..) {
             // A callback that owns the last strong reference to the domain
@@ -659,6 +709,12 @@ impl RcuThread {
         let n = self.nesting.get();
         if n == 0 {
             let epoch = self.inner.epoch.load(Ordering::Acquire);
+            // The sequence bump must precede the pin store in program
+            // order: a batch-domain scanner that observes the pin
+            // (Acquire) then reads the sequence is guaranteed at least
+            // the value this pin belongs to (newer is conservative).
+            // One Relaxed store on the fast path; see `reclaim::hyaline`.
+            self.record.begin_pin_seq();
             self.record.pin(epoch);
             // The pin store must be ordered before every critical-section
             // load (StoreLoad). When the advancer issues a process-wide
@@ -734,6 +790,51 @@ impl RcuThread {
     pub fn domain_id(&self) -> u64 {
         self.inner.id
     }
+
+    /// Publishes a hazard pointer for `addr` in `slot`
+    /// (`slot < `[`HP_SLOTS`][crate::HP_SLOTS]).
+    ///
+    /// Required by the hazard-pointer reclamation backend: unlike epoch
+    /// pinning, holding a [`ReadGuard`] alone does *not* keep an object
+    /// alive under that backend — only a published (and then
+    /// re-validated) hazard does. The protocol is acquire-validate:
+    ///
+    /// 1. read the shared pointer,
+    /// 2. `protect(slot, addr)`,
+    /// 3. re-read the shared pointer; if it changed, go to 1.
+    ///
+    /// Once validation succeeds the object cannot be reclaimed until the
+    /// hazard is cleared: a retire-list scan that missed this hazard must
+    /// have run its membarrier before step 2, in which case step 3 runs
+    /// after the object's unlink was globally visible and validation
+    /// fails. The publication carries the same StoreLoad discipline as
+    /// the pin in [`read_lock`](Self::read_lock) — a compiler fence when
+    /// scanners membarrier, a full fence otherwise.
+    pub fn protect(&self, slot: usize, addr: usize) {
+        assert!(slot < HP_SLOTS, "hazard slot {slot} out of range");
+        self.record.set_hazard(slot, addr);
+        if membarrier::readers_elide_fence() {
+            compiler_fence(Ordering::SeqCst);
+        } else {
+            fence(Ordering::SeqCst);
+        }
+    }
+
+    /// Clears the hazard pointer in `slot`; the object it protected may
+    /// be reclaimed by the next scan.
+    pub fn clear_protection(&self, slot: usize) {
+        self.record.clear_hazard(slot);
+    }
+
+    /// Clears every hazard slot of this thread.
+    pub fn clear_all_protections(&self) {
+        self.record.clear_hazards();
+    }
+
+    /// Crate-internal: the registry record backing this thread.
+    pub(crate) fn record(&self) -> &Arc<CachePadded<ThreadRecord>> {
+        &self.record
+    }
 }
 
 impl Drop for RcuThread {
@@ -758,6 +859,25 @@ impl ReadGuard<'_> {
     /// The domain this critical section belongs to; see [`Rcu::id`].
     pub fn domain_id(&self) -> u64 {
         self.thread.inner.id
+    }
+
+    /// Whether this critical section is still honored by every
+    /// reclamation backend.
+    ///
+    /// Under the epoch and hazard-pointer backends this is always
+    /// `true`. Under the Hyaline-style backend a reader pinned for
+    /// longer than the configured ejection threshold *while blocking
+    /// sealed batches* may be ejected — its capture is revoked so the
+    /// garbage it blocks stays bounded. An ejected reader must not
+    /// dereference pointers read earlier in the critical section; the
+    /// cooperative contract is to call `validate()` after any
+    /// potentially long stall (or before trusting a traversal that
+    /// resumed after one) and restart from safe roots when it returns
+    /// `false`. This mirrors DEBRA+'s neutralization recovery path with
+    /// a poll in place of a signal.
+    pub fn validate(&self) -> bool {
+        let record = self.thread.record();
+        !record.ejected_at(record.own_pin_seq())
     }
 }
 

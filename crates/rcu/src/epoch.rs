@@ -1,6 +1,6 @@
 //! Epoch algebra: global epoch, per-thread pin records, grace-period states.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Number of epoch advances that must elapse after a retire before the
 /// retired object is safe to reuse (the classic three-epoch rule of
@@ -65,14 +65,39 @@ impl GpState {
 const PINNED: u64 = 1 << 63;
 const EPOCH_MASK: u64 = PINNED - 1;
 
+/// Hazard-pointer slots per thread record. Sized so the whole record
+/// still fits one `CachePadded` cell; the hazard-pointer backend's
+/// garbage bound is proportional to `threads × HP_SLOTS`, so small is
+/// also the honest choice.
+pub const HP_SLOTS: usize = 8;
+
 /// Per-thread epoch record shared between the owning reader thread and the
 /// grace-period machinery.
 ///
 /// A single atomic word packs a "pinned" flag (thread is inside a read-side
 /// critical section) with the epoch the thread observed when it pinned.
+/// The record also carries the per-thread state of the robust reclamation
+/// backends (`crate::reclaim`): a monotone outermost-pin sequence and an
+/// ejection mark for the Hyaline-style domain, and hazard-pointer slots
+/// for the HP domain. Epoch-only deployments pay one extra `Relaxed`
+/// store per outermost pin for these fields and nothing else.
 #[derive(Debug)]
 pub(crate) struct ThreadRecord {
     state: AtomicU64,
+    /// Monotone count of outermost pins. Bumped by the owning thread
+    /// only, program-ordered *before* the pin store, so any scanner that
+    /// observes a pin (Acquire) also observes the sequence number that
+    /// pin belongs to. A batch domain records `(id, pin_seq)` pairs; a
+    /// later sequence proves the captured critical section has exited.
+    pin_seq: AtomicU64,
+    /// Cooperative-neutralization mark: the pin sequence whose capture an
+    /// ejector revoked (0 = none). Meaningful only while `pin_seq` still
+    /// equals the stored value — a new pin gets a new sequence, which
+    /// un-ejects the record without any clearing store.
+    ejected_seq: AtomicU64,
+    /// Hazard-pointer slots (0 = empty). Written by the owning thread,
+    /// read by retire-list scanners under the membarrier protocol.
+    hazards: [AtomicUsize; HP_SLOTS],
     active: AtomicBool,
     /// Process-unique id, stable for the record's lifetime. Lets the stall
     /// watchdog attribute warnings to a specific reader without keying on
@@ -85,6 +110,9 @@ impl ThreadRecord {
         static NEXT_ID: AtomicU64 = AtomicU64::new(1);
         Self {
             state: AtomicU64::new(0),
+            pin_seq: AtomicU64::new(0),
+            ejected_seq: AtomicU64::new(0),
+            hazards: std::array::from_fn(|_| AtomicUsize::new(0)),
             active: AtomicBool::new(true),
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         }
@@ -155,8 +183,71 @@ impl ThreadRecord {
     }
 
     /// Detaches the record from its thread (called on `RcuThread` drop).
+    /// Hazard slots are cleared first: a dead thread protects nothing.
     pub(crate) fn deactivate(&self) {
+        self.clear_hazards();
         self.active.store(false, Ordering::Release);
+    }
+
+    /// Bumps and returns the outermost-pin sequence. Single-writer (only
+    /// the owning thread calls this), so the load+store pair is exact;
+    /// the caller must issue the pin store *after* this in program order
+    /// so a scanner's Acquire on the pin word also covers the bump.
+    pub(crate) fn begin_pin_seq(&self) -> u64 {
+        let next = self.pin_seq.load(Ordering::Relaxed) + 1;
+        self.pin_seq.store(next, Ordering::Relaxed);
+        next
+    }
+
+    /// The current outermost-pin sequence. Scanners must only read this
+    /// *after* observing the pin word with Acquire ordering (see
+    /// [`begin_pin_seq`](Self::begin_pin_seq)); reading a value newer
+    /// than the observed pin's is possible and conservative (it delays a
+    /// release, never permits one early).
+    pub(crate) fn pin_seq(&self) -> u64 {
+        self.pin_seq.load(Ordering::Acquire)
+    }
+
+    /// Owner-side advisory read of the pin sequence.
+    pub(crate) fn own_pin_seq(&self) -> u64 {
+        self.pin_seq.load(Ordering::Relaxed)
+    }
+
+    /// Marks pin sequence `seq` as ejected (cooperative neutralization).
+    pub(crate) fn eject(&self, seq: u64) {
+        self.ejected_seq.store(seq, Ordering::Release);
+    }
+
+    /// Whether pin sequence `seq` has been ejected.
+    pub(crate) fn ejected_at(&self, seq: u64) -> bool {
+        self.ejected_seq.load(Ordering::Acquire) == seq
+    }
+
+    /// Publishes a hazard pointer in `slot`. The caller carries the
+    /// StoreLoad fence discipline (see [`RcuThread::protect`]).
+    ///
+    /// [`RcuThread::protect`]: crate::RcuThread::protect
+    pub(crate) fn set_hazard(&self, slot: usize, addr: usize) {
+        self.hazards[slot].store(addr, Ordering::Release);
+    }
+
+    /// Clears the hazard pointer in `slot`.
+    pub(crate) fn clear_hazard(&self, slot: usize) {
+        self.hazards[slot].store(0, Ordering::Release);
+    }
+
+    /// Clears every hazard slot.
+    pub(crate) fn clear_hazards(&self) {
+        for h in &self.hazards {
+            h.store(0, Ordering::Release);
+        }
+    }
+
+    /// Reads the hazard pointer in `slot` (0 = empty). Only trustworthy
+    /// after the scanner has run the fence + membarrier protocol; see
+    /// the `reclaim::hp` module for the pairing argument.
+    pub(crate) fn hazard(&self, slot: usize) -> usize {
+        self.hazards[slot].load(Ordering::Acquire)
     }
 }
 
@@ -204,5 +295,40 @@ mod tests {
         let e = EPOCH_MASK - 1;
         r.pin(e);
         assert_eq!(r.observe_pinned_epoch(), Some(e));
+    }
+
+    #[test]
+    fn pin_seq_is_monotone_and_ejection_is_per_sequence() {
+        let r = ThreadRecord::new();
+        let s1 = r.begin_pin_seq();
+        assert_eq!(s1, 1);
+        assert_eq!(r.pin_seq(), 1);
+        assert!(!r.ejected_at(s1));
+        r.eject(s1);
+        assert!(r.ejected_at(s1));
+        // A fresh pin gets a fresh sequence, which un-ejects the record
+        // without any clearing store.
+        let s2 = r.begin_pin_seq();
+        assert_eq!(s2, 2);
+        assert!(!r.ejected_at(s2));
+        assert!(r.ejected_at(s1));
+    }
+
+    #[test]
+    fn hazard_slots_roundtrip_and_clear_on_deactivate() {
+        let r = ThreadRecord::new();
+        for slot in 0..HP_SLOTS {
+            assert_eq!(r.hazard(slot), 0);
+        }
+        r.set_hazard(0, 0x1000);
+        r.set_hazard(HP_SLOTS - 1, 0x2000);
+        assert_eq!(r.hazard(0), 0x1000);
+        assert_eq!(r.hazard(HP_SLOTS - 1), 0x2000);
+        r.clear_hazard(0);
+        assert_eq!(r.hazard(0), 0);
+        r.deactivate();
+        for slot in 0..HP_SLOTS {
+            assert_eq!(r.hazard(slot), 0, "deactivate must clear hazards");
+        }
     }
 }

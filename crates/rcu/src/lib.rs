@@ -52,11 +52,13 @@ mod callback;
 mod domain;
 mod epoch;
 mod membarrier;
+pub mod reclaim;
 mod stats;
 
 pub use callback::RcuConfig;
 pub use domain::{ReadGuard, Rcu, RcuThread};
 pub use epoch::GpState;
+pub use epoch::HP_SLOTS;
 pub use stats::RcuStats;
 
 /// Forces every domain in this process onto the portable fallback barrier

@@ -1,0 +1,505 @@
+//! The Hyaline-style backend: reference-tracked retire batches with
+//! stalled-reader ejection.
+//!
+//! Deferred objects accumulate in an *open* batch; at `batch_size` the
+//! batch **seals**: after the advancer-side barrier protocol (SeqCst
+//! fence + process-wide membarrier, reused verbatim from the epoch
+//! machinery) the sealer walks the reader registry and records a
+//! reference `(record_id, pin_seq)` for every reader pinned at that
+//! moment. The batch may be released — its objects returned to their
+//! caches — once every captured reference is *observed dead*: the record
+//! is gone or inactive, unpinned, re-pinned at a later sequence, or
+//! ejected. This trades Hyaline's reader-side release decrements for
+//! scanner-side observation (readers stay store-only on the fast path,
+//! matching this codebase's asymmetric-barrier design), at the cost of a
+//! release pass that must be driven (by defers, pressure expedites, or
+//! `synchronize`).
+//!
+//! ## Capture argument
+//!
+//! A reader can hold a batch object only if it was pinned *before* the
+//! object's unlink and has remained in that critical section since
+//! (unlink → defer → seal, and under this crate's reader contract a
+//! pointer obtained in one critical section may not be carried into the
+//! next). Such a reader is still pinned at seal time with the same
+//! `pin_seq`, so the seal captures it: the registry walk observes pin
+//! words with an RMW *after* the membarrier, and the sequence read
+//! (Acquire, after the pin observation) is at least the observed pin's —
+//! newer only if the reader already moved on, which is conservative. A
+//! reader that pins after the sealer's membarrier is not captured, but
+//! its critical-section loads run after the barrier and therefore see
+//! the pre-barrier unlinks: it cannot reach any object in the batch.
+//! Hence releasing a batch whose captured references have all exited
+//! frees nothing any reader can still hold.
+//!
+//! ## Garbage bound via ejection
+//!
+//! One stalled reader blocks only the batches sealed *during its pin* —
+//! but that is still unbounded in time, so the release pass additionally
+//! tracks how long each captured reference has been blocking. Past
+//! `eject_after` the reference is **ejected** (DEBRA+-style
+//! neutralization, with a poll instead of a signal): the record's
+//! ejection mark is set to the captured sequence and the reference is
+//! dropped. Outstanding garbage is therefore bounded by the open batch
+//! plus whatever was deferred inside one `eject_after` window — the
+//! per-stalled-thread bound the chaos scenario asserts. The ejected
+//! reader's side of the contract is [`ReadGuard::validate`]: after a
+//! stall it must re-validate before trusting earlier reads.
+//!
+//! [`ReadGuard::validate`]: crate::ReadGuard::validate
+
+use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pbs_telemetry::EventKind;
+
+use super::{ClientId, ReclaimBackend, ReclaimClient, ReclaimConfig, ReclaimStats, ReclamationDomain};
+use crate::membarrier;
+use crate::Rcu;
+
+/// A captured reader reference: this batch may not release while record
+/// `record_id` is still pinned at `pin_seq` (and not ejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BatchRef {
+    record_id: u64,
+    pin_seq: u64,
+}
+
+/// A sealed batch awaiting the death of its captured references.
+struct Batch {
+    /// Seal order; `synchronize` waits for a prefix of it.
+    seq: u64,
+    items: Vec<(ClientId, usize)>,
+    refs: Vec<BatchRef>,
+}
+
+/// Hyaline-style batch backend; see the module docs.
+pub struct HyalineDomain {
+    rcu: Arc<Rcu>,
+    config: ReclaimConfig,
+    clients: Mutex<Vec<Weak<dyn ReclaimClient>>>,
+    open: Mutex<Vec<(ClientId, usize)>>,
+    /// Sealed batches in seal order, plus the blocking clock: first time
+    /// each still-live captured reference was seen blocking a batch.
+    /// One lock for both so a release pass is atomic w.r.t. sealing.
+    sealed: Mutex<SealedState>,
+    batch_seq: AtomicU64,
+    deferred: AtomicUsize,
+    batches_sealed: AtomicU64,
+    refs_captured: AtomicU64,
+    ejections: AtomicU64,
+    injected_stalls: AtomicU64,
+}
+
+#[derive(Default)]
+struct SealedState {
+    batches: Vec<Batch>,
+    blocking_since: HashMap<BatchRef, Instant>,
+}
+
+impl HyalineDomain {
+    /// A Hyaline-style domain over `rcu`'s reader registry.
+    pub fn new(rcu: Arc<Rcu>, config: ReclaimConfig) -> Self {
+        Self {
+            rcu,
+            config,
+            clients: Mutex::new(Vec::new()),
+            open: Mutex::new(Vec::new()),
+            sealed: Mutex::new(SealedState::default()),
+            batch_seq: AtomicU64::new(0),
+            deferred: AtomicUsize::new(0),
+            batches_sealed: AtomicU64::new(0),
+            refs_captured: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Seals the open batch (if non-empty) with a freshly captured
+    /// reference set, unless the `reclaim.advance` fault site refuses —
+    /// refusal only procrastinates (the open batch keeps absorbing
+    /// defers until a later attempt succeeds).
+    fn try_seal(&self) -> bool {
+        let inner = self.rcu.inner();
+        if let Some(faults) = &inner.config.fault_injector {
+            if faults.should_fail(pbs_fault::site::RECLAIM_ADVANCE) {
+                self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let items: Vec<(ClientId, usize)> = {
+            let mut open = self.open.lock();
+            if open.is_empty() {
+                return false;
+            }
+            std::mem::take(&mut *open)
+        };
+        // Advancer-side barrier protocol: after this, the registry walk's
+        // RMW pin observations are trustworthy, and any reader it does
+        // NOT capture started after the barrier and thus sees the
+        // unlinks that preceded every defer in `items` (module docs).
+        fence(Ordering::SeqCst);
+        membarrier::heavy_barrier();
+        let refs: Vec<BatchRef> = {
+            let registry = inner.registry.lock();
+            registry
+                .iter()
+                .filter(|rec| rec.is_active())
+                .filter(|rec| rec.observe_pinned_epoch().is_some())
+                .map(|rec| BatchRef {
+                    record_id: rec.id(),
+                    // Read after the pin observation: at least the
+                    // observed pin's sequence (see epoch::ThreadRecord).
+                    pin_seq: rec.pin_seq(),
+                })
+                .collect()
+        };
+        let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.batches_sealed.fetch_add(1, Ordering::Relaxed);
+        self.refs_captured.fetch_add(refs.len() as u64, Ordering::Relaxed);
+        if pbs_telemetry::enabled() {
+            inner
+                .ring
+                .record_thread(EventKind::BatchSeal, 0, items.len() as u64, refs.len() as u64);
+        }
+        let batch = Batch { seq, items, refs };
+        self.sealed.lock().batches.push(batch);
+        true
+    }
+
+    /// One release pass: drop observed-dead references, eject readers
+    /// that have been blocking past `eject_after`, return ready batches
+    /// to their clients. Returns the number of objects released.
+    fn release_pass(&self) -> usize {
+        let inner = self.rcu.inner();
+        let now = Instant::now();
+        let mut ready: Vec<Batch> = Vec::new();
+        {
+            let mut sealed = self.sealed.lock();
+            if sealed.batches.is_empty() {
+                sealed.blocking_since.clear();
+                return 0;
+            }
+            let SealedState {
+                batches,
+                blocking_since,
+            } = &mut *sealed;
+            // Index the live registry once per pass.
+            let records: HashMap<u64, _> = {
+                let registry = inner.registry.lock();
+                registry
+                    .iter()
+                    .filter(|rec| rec.is_active())
+                    .map(|rec| (rec.id(), Arc::clone(rec)))
+                    .collect()
+            };
+            let ref_alive = |r: &BatchRef| -> bool {
+                let Some(rec) = records.get(&r.record_id) else {
+                    return false; // record pruned or deactivated
+                };
+                if rec.observe_pinned_epoch().is_none() {
+                    return false; // unpinned: the captured section exited
+                }
+                if rec.pin_seq() > r.pin_seq {
+                    return false; // re-pinned since: ditto
+                }
+                // Ejected at exactly this sequence: capture revoked.
+                !rec.ejected_at(r.pin_seq)
+            };
+            for batch in batches.iter_mut() {
+                batch.refs.retain(&ref_alive);
+            }
+            // The blocking clock and the ejector. A reference starts its
+            // clock the first pass it is seen blocking; continuously
+            // blocked past the threshold, it is ejected — the revocation
+            // takes effect for this pass immediately.
+            let mut still_blocking: HashMap<BatchRef, Instant> = HashMap::new();
+            let mut ejected: std::collections::HashSet<BatchRef> = std::collections::HashSet::new();
+            for batch in batches.iter_mut() {
+                batch.refs.retain(|r| {
+                    if ejected.contains(r) {
+                        return false; // already ejected via an earlier batch
+                    }
+                    let since = *still_blocking
+                        .entry(*r)
+                        .or_insert_with(|| blocking_since.get(r).copied().unwrap_or(now));
+                    if now.duration_since(since) >= self.config.eject_after {
+                        if let Some(rec) = records.get(&r.record_id) {
+                            rec.eject(r.pin_seq);
+                        }
+                        ejected.insert(*r);
+                        still_blocking.remove(r);
+                        self.ejections.fetch_add(1, Ordering::Relaxed);
+                        if pbs_telemetry::enabled() {
+                            inner.ring.record_thread(
+                                EventKind::ReaderEject,
+                                0,
+                                r.record_id,
+                                r.pin_seq,
+                            );
+                        }
+                        return false;
+                    }
+                    true
+                });
+            }
+            *blocking_since = still_blocking;
+            // Harvest batches with no surviving references.
+            let mut remaining = Vec::with_capacity(batches.len());
+            for batch in batches.drain(..) {
+                if batch.refs.is_empty() {
+                    ready.push(batch);
+                } else {
+                    remaining.push(batch);
+                }
+            }
+            *batches = remaining;
+        }
+        // Locks dropped: deliver to clients per the ReclaimClient
+        // contract.
+        let mut by_client: HashMap<ClientId, Vec<usize>> = HashMap::new();
+        let mut total = 0;
+        for batch in ready {
+            for (client, addr) in batch.items {
+                by_client.entry(client).or_default().push(addr);
+                total += 1;
+            }
+        }
+        for (client, addrs) in by_client {
+            let client = self.clients.lock().get(client).cloned();
+            if let Some(client) = client.and_then(|weak| weak.upgrade()) {
+                client.reclaim_addrs(&addrs);
+            }
+        }
+        self.deferred.fetch_sub(total, Ordering::Relaxed);
+        total
+    }
+
+    /// Oldest sealed-batch sequence still pending (`None` = none).
+    fn oldest_sealed(&self) -> Option<u64> {
+        self.sealed.lock().batches.iter().map(|b| b.seq).min()
+    }
+}
+
+impl ReclamationDomain for HyalineDomain {
+    fn backend(&self) -> ReclaimBackend {
+        ReclaimBackend::Hyaline
+    }
+
+    fn rcu(&self) -> &Arc<Rcu> {
+        &self.rcu
+    }
+
+    fn register_client(&self, client: Weak<dyn ReclaimClient>) -> ClientId {
+        let mut clients = self.clients.lock();
+        clients.push(client);
+        clients.len() - 1
+    }
+
+    fn defer(&self, client: ClientId, addr: usize) {
+        self.deferred.fetch_add(1, Ordering::Relaxed);
+        let len = {
+            let mut open = self.open.lock();
+            open.push((client, addr));
+            open.len()
+        };
+        if len >= self.config.batch_size {
+            self.try_seal();
+            self.release_pass();
+        }
+    }
+
+    fn advance(&self) -> bool {
+        let sealed = self.try_seal();
+        self.release_pass() > 0 || sealed
+    }
+
+    fn synchronize(&self) {
+        // Seal whatever is open (so this call's defers are all in
+        // batches), then wait for the sealed prefix that exists now.
+        while !self.try_seal() && !self.open.lock().is_empty() {
+            // Fault-refused seal with a non-empty open batch: retry, the
+            // refusal only procrastinates.
+            std::thread::yield_now();
+        }
+        let target = self.batch_seq.load(Ordering::Relaxed);
+        let mut rounds = 0u32;
+        loop {
+            self.release_pass();
+            match self.oldest_sealed() {
+                None => return,
+                Some(oldest) if oldest > target => return,
+                Some(_) => {}
+            }
+            rounds += 1;
+            if rounds < 32 {
+                std::thread::yield_now();
+            } else {
+                // Ejection is time-based; poll at a fraction of the
+                // threshold so a blocked drain ends promptly after it.
+                std::thread::sleep(self.config.eject_after / 8);
+            }
+        }
+    }
+
+    fn synchronize_expedited(&self) {
+        // Sealing and releasing are already as eager as they get.
+        self.synchronize();
+    }
+
+    fn expedite(&self) -> bool {
+        let sealed = self.try_seal();
+        self.release_pass() > 0 || sealed
+    }
+
+    fn deferred_in_domain(&self) -> usize {
+        self.deferred.load(Ordering::Relaxed)
+    }
+
+    fn reclaim_stats(&self) -> ReclaimStats {
+        ReclaimStats {
+            backend: self.backend().label().to_owned(),
+            deferred_in_domain: self.deferred_in_domain(),
+            batches_sealed: self.batches_sealed.load(Ordering::Relaxed),
+            batch_refs_captured: self.refs_captured.load(Ordering::Relaxed),
+            ejections: self.ejections.load(Ordering::Relaxed),
+            injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
+            ..ReclaimStats::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for HyalineDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyalineDomain")
+            .field("deferred", &self.deferred_in_domain())
+            .field("batches_sealed", &self.batches_sealed.load(Ordering::Relaxed))
+            .field("ejections", &self.ejections.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::RecordingClient;
+    use super::*;
+    use crate::RcuConfig;
+    use std::time::Duration;
+
+    fn domain(rcu: &Arc<Rcu>, batch: usize, eject: Duration) -> HyalineDomain {
+        HyalineDomain::new(
+            Arc::clone(rcu),
+            ReclaimConfig {
+                batch_size: batch,
+                eject_after: eject,
+                ..ReclaimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn unwatched_batches_release_immediately() {
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let d = domain(&rcu, 4, Duration::from_secs(1));
+        let client = Arc::new(RecordingClient::default());
+        let id = d.register_client(Arc::downgrade(&client) as Weak<dyn ReclaimClient>);
+        for addr in 1..=4usize {
+            d.defer(id, addr << 4);
+        }
+        // No reader was pinned at seal: the batch released on the spot.
+        assert_eq!(client.count(), 4);
+        assert_eq!(d.deferred_in_domain(), 0);
+        let stats = d.reclaim_stats();
+        assert_eq!(stats.batches_sealed, 1);
+        assert_eq!(stats.batch_refs_captured, 0);
+        assert_eq!(stats.ejections, 0);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_batches_until_unpin() {
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let d = domain(&rcu, 4, Duration::from_secs(30));
+        let client = Arc::new(RecordingClient::default());
+        let id = d.register_client(Arc::downgrade(&client) as Weak<dyn ReclaimClient>);
+        let reader = rcu.register();
+        let guard = reader.read_lock();
+        for addr in 1..=4usize {
+            d.defer(id, addr << 4);
+        }
+        assert_eq!(client.count(), 0, "captured batch released under its reader");
+        assert_eq!(d.deferred_in_domain(), 4);
+        assert!(guard.validate(), "no ejection this early");
+        drop(guard);
+        d.synchronize();
+        assert_eq!(client.count(), 4);
+    }
+
+    #[test]
+    fn repinning_reader_releases_earlier_captures() {
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let d = domain(&rcu, 4, Duration::from_secs(30));
+        let client = Arc::new(RecordingClient::default());
+        let id = d.register_client(Arc::downgrade(&client) as Weak<dyn ReclaimClient>);
+        let reader = rcu.register();
+        let g1 = reader.read_lock();
+        for addr in 1..=4usize {
+            d.defer(id, addr << 4);
+        }
+        assert_eq!(client.count(), 0);
+        drop(g1);
+        // A *new* critical section does not extend the old capture: the
+        // pin sequence advanced, so the batch releases while pinned.
+        let _g2 = reader.read_lock();
+        d.advance();
+        assert_eq!(client.count(), 4);
+    }
+
+    #[test]
+    fn stalled_reader_is_ejected_and_garbage_stays_bounded() {
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let eject_after = Duration::from_millis(5);
+        let d = domain(&rcu, 4, eject_after);
+        let client = Arc::new(RecordingClient::default());
+        let id = d.register_client(Arc::downgrade(&client) as Weak<dyn ReclaimClient>);
+        let reader = rcu.register();
+        let guard = reader.read_lock();
+        for addr in 1..=32usize {
+            d.defer(id, addr << 4);
+        }
+        assert_eq!(client.count(), 0, "blocked while the stall is young");
+        // Past the threshold the reader is ejected and the batches
+        // drain — while it is STILL pinned.
+        std::thread::sleep(eject_after * 2);
+        d.advance();
+        assert_eq!(client.count(), 32);
+        assert_eq!(d.deferred_in_domain(), 0);
+        assert!(d.reclaim_stats().ejections >= 1);
+        // The cooperative contract: the ejected reader must notice.
+        assert!(!guard.validate(), "ejected reader still validates");
+        drop(guard);
+        // A fresh critical section validates again.
+        let g = reader.read_lock();
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn synchronize_drains_with_a_parked_reader_via_ejection() {
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let d = domain(&rcu, 8, Duration::from_millis(5));
+        let client = Arc::new(RecordingClient::default());
+        let id = d.register_client(Arc::downgrade(&client) as Weak<dyn ReclaimClient>);
+        let reader = rcu.register();
+        let _guard = reader.read_lock();
+        for addr in 1..=20usize {
+            d.defer(id, addr << 4);
+        }
+        // Blocks ~eject_after, then completes despite the pinned reader
+        // — the epoch backend would hang here forever.
+        d.synchronize();
+        assert_eq!(client.count(), 20);
+        assert_eq!(d.deferred_in_domain(), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Pluggable memory-reclamation backends (`ReclamationDomain`).
+//!
+//! The paper's prudence scheme inherits epoch RCU's classic failure mode:
+//! one stalled reader pins the epoch and every object deferred after its
+//! pin stays dead-but-unreusable *forever* — the PR 5 watchdog can report
+//! the stall but not bound the garbage. This module extracts the
+//! reclamation contract the allocators actually rely on into a trait and
+//! provides three interchangeable backends:
+//!
+//! | backend   | mechanism                         | garbage bound under one stalled reader |
+//! |-----------|-----------------------------------|----------------------------------------|
+//! | `epoch`   | grace periods ([`Rcu`])           | **unbounded** (the bug, kept as the baseline) |
+//! | `hp`      | hazard pointers, scan-on-threshold| `scan_threshold + threads × HP_SLOTS`  |
+//! | `hyaline` | reference-tracked batches + ejection | `batch_size + defer-rate × eject_after` |
+//!
+//! Selection mirrors the `PBS_FASTPATH` pattern: `PBS_RECLAIM=epoch|hp|
+//! hyaline` picks the backend new testbeds construct, decided once per
+//! process ([`ReclaimBackend::from_env`]).
+//!
+//! ## Reader contracts
+//!
+//! The backends deliberately share the [`Rcu`] reader registry, so one
+//! `read_lock` fast path serves all three — but what a critical section
+//! *means* differs:
+//!
+//! * `epoch` — a pinned reader keeps every object it could have reached
+//!   alive. Guard-only traversal is safe (the paper's model).
+//! * `hp` — a pin keeps nothing alive by itself; only a published and
+//!   re-validated hazard ([`RcuThread::protect`]) does.
+//! * `hyaline` — a pin keeps alive everything retired *while it was
+//!   pinned* (batch capture), unless the reader stalls past the ejection
+//!   threshold while blocking sealed batches, in which case its capture
+//!   is revoked and it must re-validate ([`ReadGuard::validate`]) before
+//!   trusting earlier reads.
+//!
+//! [`RcuThread::protect`]: crate::RcuThread::protect
+//! [`ReadGuard::validate`]: crate::ReadGuard::validate
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Rcu;
+
+mod epoch_backend;
+mod hp;
+mod hyaline;
+
+pub use epoch_backend::EpochDomain;
+pub use hp::HpDomain;
+pub use hyaline::HyalineDomain;
+
+/// Names a [`ReclaimClient`] within one domain (dense index, assigned by
+/// [`ReclamationDomain::register_client`]).
+pub type ClientId = usize;
+
+/// The cache-side half of the reclamation contract: a domain calls this
+/// back when deferred objects have become safe to reuse.
+///
+/// Clients are held as [`Weak`] references — a domain never keeps a cache
+/// alive, and addresses whose client has been dropped are discarded (the
+/// cache's teardown path returns their slabs to the page allocator
+/// wholesale, exactly as the SLUB baseline's dead-cache RCU callbacks
+/// already behave).
+pub trait ReclaimClient: Send + Sync {
+    /// Returns objects (by address, as handed to
+    /// [`ReclamationDomain::defer`]) to the owning cache.
+    ///
+    /// Domains guarantee this is invoked with no domain-internal locks
+    /// held, so the client may perform arbitrary cache work — but it must
+    /// not call back into [`ReclamationDomain::defer`] for this domain
+    /// from inside the callback.
+    fn reclaim_addrs(&self, addrs: &[usize]);
+}
+
+/// Which reclamation scheme a domain runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReclaimBackend {
+    /// Epoch-based grace periods (the paper's scheme; unbounded garbage
+    /// under a stalled reader).
+    Epoch,
+    /// Hazard pointers with scan-on-threshold retire lists.
+    Hp,
+    /// Hyaline-style reference-tracked batches with stalled-reader
+    /// ejection.
+    Hyaline,
+}
+
+impl ReclaimBackend {
+    /// Every backend, in comparison-matrix order.
+    pub const ALL: [ReclaimBackend; 3] =
+        [ReclaimBackend::Epoch, ReclaimBackend::Hp, ReclaimBackend::Hyaline];
+
+    /// Stable lowercase label (CLI flags, run metadata, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReclaimBackend::Epoch => "epoch",
+            ReclaimBackend::Hp => "hp",
+            ReclaimBackend::Hyaline => "hyaline",
+        }
+    }
+
+    /// The backend new testbeds select, honoring `PBS_RECLAIM`
+    /// (`epoch` / `hp` / `hyaline`). Decided once per process, mirroring
+    /// `PBS_FASTPATH`: unknown or unset values fall back to [`Epoch`]
+    /// (the paper's scheme stays the default).
+    ///
+    /// [`Epoch`]: ReclaimBackend::Epoch
+    pub fn from_env() -> ReclaimBackend {
+        static CHOICE: OnceLock<ReclaimBackend> = OnceLock::new();
+        *CHOICE.get_or_init(|| {
+            std::env::var("PBS_RECLAIM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(ReclaimBackend::Epoch)
+        })
+    }
+}
+
+impl fmt::Display for ReclaimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ReclaimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "epoch" => Ok(ReclaimBackend::Epoch),
+            "hp" => Ok(ReclaimBackend::Hp),
+            "hyaline" => Ok(ReclaimBackend::Hyaline),
+            other => Err(format!(
+                "unknown reclamation backend {other:?} (expected epoch|hp|hyaline)"
+            )),
+        }
+    }
+}
+
+/// Tuning knobs of the robust backends; irrelevant fields are ignored by
+/// the backend that doesn't use them.
+#[derive(Debug, Clone)]
+pub struct ReclaimConfig {
+    /// `hp`: retire-list length that triggers a scan. The scan is what
+    /// bounds the garbage, so this is the dominant term of the hp bound.
+    pub scan_threshold: usize,
+    /// `hyaline`: deferred objects per batch before the batch seals and
+    /// captures its reader reference set.
+    pub batch_size: usize,
+    /// `hyaline`: how long a reader may stay continuously pinned *while
+    /// blocking sealed batches* before its capture is revoked
+    /// (ejection). Must comfortably exceed every legitimate critical
+    /// section; readers that can stall longer must re-validate
+    /// ([`ReadGuard::validate`](crate::ReadGuard::validate)).
+    pub eject_after: Duration,
+}
+
+impl Default for ReclaimConfig {
+    fn default() -> Self {
+        Self {
+            scan_threshold: 256,
+            batch_size: 64,
+            eject_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ReclaimConfig {
+    /// A tight configuration for harnesses that need ejections and scans
+    /// within milliseconds (chaos scenarios, property tests).
+    pub fn aggressive() -> Self {
+        Self {
+            scan_threshold: 64,
+            batch_size: 16,
+            eject_after: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Point-in-time statistics of a [`ReclamationDomain`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclaimStats {
+    /// [`ReclaimBackend::label`] of the producing backend.
+    pub backend: String,
+    /// Objects deferred into the domain and not yet returned to their
+    /// clients (for `epoch` this is the callback backlog).
+    pub deferred_in_domain: usize,
+    /// `hp`: retire-list scans that ran (refused ones excluded).
+    pub scans: u64,
+    /// `hp`: objects a scan found unprotected and returned.
+    pub scan_reclaimed: u64,
+    /// `hp`: object observations left on the retire list because a
+    /// hazard protected them (an object kept across `n` scans counts
+    /// `n` times).
+    pub scan_protected: u64,
+    /// `hyaline`: batches sealed with a captured reference set.
+    pub batches_sealed: u64,
+    /// `hyaline`: reader references captured across all seals.
+    pub batch_refs_captured: u64,
+    /// `hyaline`: stalled readers ejected to release blocked batches.
+    pub ejections: u64,
+    /// Reclamation steps refused by the `reclaim.advance` fault site
+    /// (for `epoch`, injected stalls are counted in
+    /// [`RcuStats::injected_gp_stalls`](crate::RcuStats) instead).
+    pub injected_stalls: u64,
+}
+
+/// The reclamation contract both allocators program against: pin/unpin
+/// arrive via the shared [`Rcu`] reader registration, everything else —
+/// deferral, progress, blocking drains, stats — goes through this trait.
+///
+/// Object-safe on purpose: caches hold `Arc<dyn ReclamationDomain>` and
+/// the backend is chosen at runtime.
+pub trait ReclamationDomain: Send + Sync {
+    /// Which scheme this domain runs.
+    fn backend(&self) -> ReclaimBackend;
+
+    /// The underlying synchronization domain. All backends share it: it
+    /// provides reader registration (pin/unpin), the reader registry the
+    /// robust backends scan, and the epoch machinery the `epoch` backend
+    /// is made of.
+    fn rcu(&self) -> &Arc<Rcu>;
+
+    /// Registers a reclamation client; the returned id names it in
+    /// [`defer`](Self::defer).
+    fn register_client(&self, client: Weak<dyn ReclaimClient>) -> ClientId;
+
+    /// Hands one retired object to the domain. The caller must already
+    /// have unlinked the object (no *new* reader can reach it); the
+    /// domain invokes [`ReclaimClient::reclaim_addrs`] once the backend
+    /// proves no captured reader can still hold it.
+    fn defer(&self, client: ClientId, addr: usize);
+
+    /// One bounded reclamation-progress step (epoch-advance attempt,
+    /// retire-list scan, or batch seal + release pass). Never blocks on
+    /// readers; returns whether anything progressed. This is the hook
+    /// pressure ladders and harness drive loops call.
+    fn advance(&self) -> bool;
+
+    /// Blocks until every object deferred *before* this call has been
+    /// returned to its client (the backend-generic `synchronize`). Like
+    /// [`Rcu::synchronize`], must not be called from inside a read-side
+    /// critical section of the same domain.
+    fn synchronize(&self);
+
+    /// [`synchronize`](Self::synchronize) with an eager first drive —
+    /// the generalization of [`Rcu::synchronize_expedited`] the OOM
+    /// recovery ladder calls.
+    fn synchronize_expedited(&self);
+
+    /// Bounded eager drive toward reclamation progress; never blocks
+    /// indefinitely (safe with a stalled reader wedging the domain).
+    /// Returns whether the drive made progress. Backpressure
+    /// transitions call this.
+    fn expedite(&self) -> bool;
+
+    /// Objects deferred into the domain and not yet returned.
+    fn deferred_in_domain(&self) -> usize;
+
+    /// Statistics snapshot.
+    fn reclaim_stats(&self) -> ReclaimStats;
+}
+
+/// A cache's attachment to its domain: the domain handle, the cache's
+/// client id within it, and whether the backend is *robust* (bounds
+/// garbage under stalled readers — i.e. anything but `epoch`).
+///
+/// The `robust` flag is what the allocator hot paths branch on: the
+/// epoch backend keeps the caches' existing latent/callback machinery
+/// byte-for-byte (the paper's scheme, and the perf baseline), while
+/// robust backends divert deferred objects into the domain.
+pub struct DomainHandle {
+    /// The attached domain.
+    pub domain: Arc<dyn ReclamationDomain>,
+    /// This cache's client id within [`domain`](Self::domain).
+    pub client: ClientId,
+    /// `backend() != Epoch`: deferred objects route through the domain.
+    pub robust: bool,
+}
+
+impl DomainHandle {
+    /// Registers `client` with `domain` and wraps both.
+    pub fn attach(domain: Arc<dyn ReclamationDomain>, client: Weak<dyn ReclaimClient>) -> Self {
+        let client = domain.register_client(client);
+        let robust = domain.backend() != ReclaimBackend::Epoch;
+        Self {
+            domain,
+            client,
+            robust,
+        }
+    }
+}
+
+impl fmt::Debug for DomainHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DomainHandle")
+            .field("backend", &self.domain.backend())
+            .field("client", &self.client)
+            .field("robust", &self.robust)
+            .finish()
+    }
+}
+
+/// Constructs the backend selected by `backend` over `rcu`.
+pub fn domain_for(
+    rcu: Arc<Rcu>,
+    backend: ReclaimBackend,
+    config: ReclaimConfig,
+) -> Arc<dyn ReclamationDomain> {
+    match backend {
+        ReclaimBackend::Epoch => Arc::new(EpochDomain::new(rcu)),
+        ReclaimBackend::Hp => Arc::new(HpDomain::new(rcu, config)),
+        ReclaimBackend::Hyaline => Arc::new(HyalineDomain::new(rcu, config)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A client that records every reclaimed address, for backend unit
+    /// tests.
+    #[derive(Default)]
+    pub(crate) struct RecordingClient {
+        pub(crate) reclaimed: Mutex<Vec<usize>>,
+    }
+
+    impl ReclaimClient for RecordingClient {
+        fn reclaim_addrs(&self, addrs: &[usize]) {
+            self.reclaimed.lock().extend_from_slice(addrs);
+        }
+    }
+
+    impl RecordingClient {
+        pub(crate) fn count(&self) -> usize {
+            self.reclaimed.lock().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in ReclaimBackend::ALL {
+            assert_eq!(backend.label().parse::<ReclaimBackend>(), Ok(backend));
+            assert_eq!(backend.to_string(), backend.label());
+        }
+        assert!("garbage".parse::<ReclaimBackend>().is_err());
+        assert_eq!(" HP ".parse::<ReclaimBackend>(), Ok(ReclaimBackend::Hp));
+    }
+
+    #[test]
+    fn reclaim_stats_serde_round_trip() {
+        let stats = ReclaimStats {
+            backend: "hp".to_owned(),
+            deferred_in_domain: 3,
+            scans: 2,
+            scan_reclaimed: 40,
+            ..Default::default()
+        };
+        let content = serde::Serialize::to_content(&stats);
+        let back: ReclaimStats = serde::Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn domain_for_constructs_every_backend() {
+        for backend in ReclaimBackend::ALL {
+            let rcu = Arc::new(Rcu::with_config(crate::RcuConfig::eager()));
+            let domain = domain_for(rcu, backend, ReclaimConfig::default());
+            assert_eq!(domain.backend(), backend);
+            assert_eq!(domain.deferred_in_domain(), 0);
+            assert_eq!(domain.reclaim_stats().backend, backend.label());
+        }
+    }
+}

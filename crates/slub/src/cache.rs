@@ -13,6 +13,7 @@ use pbs_alloc_api::{
 };
 use pbs_mem::PageAllocator;
 use pbs_percpu::{FastCache, FastPop, FastPush};
+use pbs_rcu::reclaim::{DomainHandle, EpochDomain, ReclaimClient, ReclamationDomain};
 use pbs_rcu::Rcu;
 use pbs_telemetry::EventKind;
 
@@ -94,6 +95,11 @@ pub struct SlubCache {
     /// Degradation knobs (watermarks normalised so soft ≤ hard).
     tuning: SlubTuning,
     weak_self: Weak<SlubCache>,
+    /// The attached reclamation domain. Set once right after construction
+    /// (the handle needs this cache's `Weak`); the epoch backend keeps
+    /// the baseline's `call_rcu` path byte-for-byte, robust backends
+    /// divert deferred objects into the domain.
+    reclaim: std::sync::OnceLock<DomainHandle>,
 }
 
 impl std::fmt::Debug for SlubCache {
@@ -131,10 +137,28 @@ impl SlubCache {
         name: &str,
         object_size: usize,
         ncpus: usize,
-        mut tuning: SlubTuning,
+        tuning: SlubTuning,
         pages: Arc<PageAllocator>,
         rcu: Arc<Rcu>,
     ) -> Arc<Self> {
+        let domain: Arc<dyn ReclamationDomain> = Arc::new(EpochDomain::new(rcu));
+        Self::with_domain(name, object_size, ncpus, tuning, pages, domain)
+    }
+
+    /// Like [`with_tuning`](Self::with_tuning), but integrated with an
+    /// explicit [`ReclamationDomain`] instead of the default epoch
+    /// backend. With a robust backend (`hp`/`hyaline`) deferred frees
+    /// bypass `call_rcu` and route through the domain; with the epoch
+    /// backend the cache behaves exactly like the baseline.
+    pub fn with_domain(
+        name: &str,
+        object_size: usize,
+        ncpus: usize,
+        mut tuning: SlubTuning,
+        pages: Arc<PageAllocator>,
+        domain: Arc<dyn ReclamationDomain>,
+    ) -> Arc<Self> {
+        let rcu = Arc::clone(domain.rcu());
         let policy = SizingPolicy::for_object_size(object_size);
         tuning.soft_watermark = tuning.soft_watermark.max(1);
         tuning.hard_watermark = tuning.hard_watermark.max(tuning.soft_watermark);
@@ -158,9 +182,22 @@ impl SlubCache {
             deferred_pending: AtomicUsize::new(0),
             tuning,
             weak_self: weak_self.clone(),
+            reclaim: std::sync::OnceLock::new(),
         });
+        let weak = cache.weak_self.clone() as Weak<dyn ReclaimClient>;
+        let _ = cache.reclaim.set(DomainHandle::attach(domain, weak));
         cache.record_fastpath_engine(fast_cap);
         cache
+    }
+
+    /// The domain attachment (set once during construction).
+    fn hook(&self) -> &DomainHandle {
+        self.reclaim.get().expect("domain attached at construction")
+    }
+
+    /// The reclamation domain this cache is attached to.
+    pub fn reclaim_domain(&self) -> &Arc<dyn ReclamationDomain> {
+        &self.hook().domain
     }
 
     /// The sizing policy in effect (shared with Prudence for fairness).
@@ -443,6 +480,17 @@ impl SlubCache {
     /// come back through RCU callbacks).
     fn await_deferred_drain(&self, expedited: bool) {
         let before = self.deferred_pending.load(Ordering::Relaxed);
+        let hook = self.hook();
+        if hook.robust {
+            // Robust backends deliver synchronously from the drain; no
+            // reclaimer-thread window needed afterwards.
+            if expedited {
+                hook.domain.synchronize_expedited();
+            } else {
+                hook.domain.synchronize();
+            }
+            return;
+        }
         if expedited {
             self.rcu.synchronize_expedited();
         } else {
@@ -513,6 +561,21 @@ impl SlubCache {
         cache.push(obj);
         if cache.len() > self.policy.object_cache_size {
             self.flush(cpu_idx, &mut cache);
+        }
+    }
+}
+
+impl ReclaimClient for SlubCache {
+    /// Domain delivery: each address re-enters through the deferred
+    /// release path (`release(obj, false)`), which owns the pending-count
+    /// and pressure bookkeeping. Runs with no domain locks held and never
+    /// re-enters the domain.
+    fn reclaim_addrs(&self, addrs: &[usize]) {
+        for &addr in addrs {
+            // SAFETY: the domain only returns addresses this cache
+            // deferred into it, each exactly once.
+            let obj = ObjPtr::new(unsafe { std::ptr::NonNull::new_unchecked(addr as *mut u8) });
+            self.release(obj, false);
         }
     }
 }
@@ -605,32 +668,45 @@ impl ObjectAllocator for SlubCache {
                 );
             }
         }
-        // The baseline behaviour under test: the allocator registers an RCU
-        // callback and the object stays invisible to it until background
-        // reclaim runs the callback. The callback holds only a weak
-        // reference — a strong one would cycle through the RCU queues and
-        // keep cache and domain alive forever. If the cache is gone by the
-        // time the callback runs, its slabs (and the object) were already
-        // returned wholesale, so dropping the pointer is correct.
-        let weak = self.weak_self.clone();
-        self.rcu.call_rcu(Box::new(move || {
-            if let Some(cache) = weak.upgrade() {
-                cache.release(obj, false);
-            }
-        }));
+        let hook = self.hook();
+        if hook.robust {
+            // Robust backends own the backlog: the object enters the
+            // domain and comes back through `reclaim_addrs` →
+            // `release(obj, false)` once proven unreachable.
+            hook.domain.defer(hook.client, obj.addr());
+        } else {
+            // The baseline behaviour under test: the allocator registers an
+            // RCU callback and the object stays invisible to it until
+            // background reclaim runs the callback. The callback holds only
+            // a weak reference — a strong one would cycle through the RCU
+            // queues and keep cache and domain alive forever. If the cache
+            // is gone by the time the callback runs, its slabs (and the
+            // object) were already returned wholesale, so dropping the
+            // pointer is correct.
+            let weak = self.weak_self.clone();
+            self.rcu.call_rcu(Box::new(move || {
+                if let Some(cache) = weak.upgrade() {
+                    cache.release(obj, false);
+                }
+            }));
+        }
         // Backpressure, with no locks held. An upward transition nudges
-        // the grace-period machinery once; at the hard level every freeing
-        // thread drives it and yields to the reclaimers — the baseline's
-        // only reclaim channel is its RCU callbacks, so "helping" means
-        // getting those callbacks runnable and ceding the CPU to them.
+        // the reclamation machinery once; at the hard level every freeing
+        // thread drives it and yields — for the epoch backend that means
+        // getting the RCU callbacks runnable and ceding the CPU to the
+        // reclaimers, for robust backends one bounded scan/seal step.
         if let Some((from, to)) = transition {
             if to > from {
-                self.rcu.expedite();
+                hook.domain.expedite();
             }
         }
         if self.stats.pressure_level.load(Ordering::Relaxed) >= 2 {
             self.stats.assisted_merges.fetch_add(1, Ordering::Relaxed);
-            self.rcu.expedite();
+            if hook.robust {
+                hook.domain.advance();
+            } else {
+                self.rcu.expedite();
+            }
             std::thread::yield_now();
         }
     }
@@ -645,6 +721,10 @@ impl ObjectAllocator for SlubCache {
 
     fn rcu(&self) -> &Arc<Rcu> {
         &self.rcu
+    }
+
+    fn reclaim_domain(&self) -> Option<&Arc<dyn ReclamationDomain>> {
+        Some(SlubCache::reclaim_domain(self))
     }
 
     fn stats(&self) -> CacheStatsSnapshot {
@@ -663,7 +743,12 @@ impl ObjectAllocator for SlubCache {
         // Park nothing across a quiesce: fast-cached objects go back to
         // their slabs so peak/fragmentation measurements stay comparable.
         self.flush_fastpath();
-        self.rcu.barrier();
+        let hook = self.hook();
+        if hook.robust {
+            hook.domain.synchronize();
+        } else {
+            self.rcu.barrier();
+        }
     }
 
     fn deferred_outstanding(&self) -> usize {
@@ -1015,5 +1100,43 @@ mod tests {
             c.quiesce();
         }
         assert_eq!(pages.used_bytes(), 0, "cache leaked pages on drop");
+    }
+
+    #[test]
+    fn robust_backends_bound_garbage_under_a_stalled_reader() {
+        use pbs_rcu::reclaim::{domain_for, ReclaimBackend, ReclaimConfig};
+        for backend in [ReclaimBackend::Hp, ReclaimBackend::Hyaline] {
+            let pages = Arc::new(PageAllocator::new());
+            let rcu = Arc::new(Rcu::with_config(pbs_rcu::RcuConfig::eager()));
+            let domain = domain_for(Arc::clone(&rcu), backend, ReclaimConfig::aggressive());
+            let c = SlubCache::with_domain(
+                "t",
+                64,
+                2,
+                SlubTuning::default(),
+                Arc::clone(&pages),
+                domain,
+            );
+            let reader = rcu.register();
+            let guard = reader.read_lock();
+            let objs: Vec<ObjPtr> = (0..512).map(|_| c.allocate().unwrap()).collect();
+            for o in objs {
+                unsafe { c.free_deferred(o) };
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            c.reclaim_domain().advance();
+            let outstanding = c.deferred_outstanding();
+            assert!(
+                outstanding <= 128,
+                "{backend}: stalled reader pinned {outstanding} objects"
+            );
+            // The epoch baseline in the same position wedges at 512; see
+            // the chaos stalled-reader scenario for the gated contrast.
+            c.quiesce();
+            assert_eq!(c.deferred_outstanding(), 0, "{backend}: quiesce under pin");
+            drop(guard);
+            drop(c);
+            assert_eq!(pages.used_bytes(), 0, "{backend}: pages leaked");
+        }
     }
 }

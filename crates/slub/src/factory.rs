@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use pbs_alloc_api::{CacheFactory, ObjectAllocator};
 use pbs_mem::PageAllocator;
+use pbs_rcu::reclaim::ReclamationDomain;
 use pbs_rcu::Rcu;
 
 use crate::{SlubCache, SlubTuning};
@@ -24,12 +25,23 @@ use crate::{SlubCache, SlubTuning};
 /// assert_eq!(cache.object_size(), 192);
 /// assert_eq!(f.label(), "slub");
 /// ```
-#[derive(Debug)]
 pub struct SlubFactory {
     ncpus: usize,
     tuning: SlubTuning,
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
+    /// Shared reclamation domain for every minted cache; `None` lets each
+    /// cache attach its own default epoch backend.
+    domain: Option<Arc<dyn ReclamationDomain>>,
+}
+
+impl std::fmt::Debug for SlubFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlubFactory")
+            .field("ncpus", &self.ncpus)
+            .field("backend", &self.domain.as_ref().map(|d| d.backend()))
+            .finish()
+    }
 }
 
 impl SlubFactory {
@@ -51,6 +63,25 @@ impl SlubFactory {
             tuning,
             pages,
             rcu,
+            domain: None,
+        }
+    }
+
+    /// Like [`with_tuning`](Self::with_tuning), but every minted cache
+    /// shares `domain` (one retire stream / batch stream across the whole
+    /// subsystem, the way all caches already share one `rcu`).
+    pub fn with_domain(
+        ncpus: usize,
+        tuning: SlubTuning,
+        pages: Arc<PageAllocator>,
+        domain: Arc<dyn ReclamationDomain>,
+    ) -> Self {
+        Self {
+            ncpus,
+            tuning,
+            pages,
+            rcu: Arc::clone(domain.rcu()),
+            domain: Some(domain),
         }
     }
 
@@ -67,14 +98,24 @@ impl SlubFactory {
 
 impl CacheFactory for SlubFactory {
     fn create_cache(&self, name: &str, object_size: usize) -> Arc<dyn ObjectAllocator> {
-        SlubCache::with_tuning(
-            name,
-            object_size,
-            self.ncpus,
-            self.tuning.clone(),
-            Arc::clone(&self.pages),
-            Arc::clone(&self.rcu),
-        )
+        match &self.domain {
+            Some(domain) => SlubCache::with_domain(
+                name,
+                object_size,
+                self.ncpus,
+                self.tuning.clone(),
+                Arc::clone(&self.pages),
+                Arc::clone(domain),
+            ),
+            None => SlubCache::with_tuning(
+                name,
+                object_size,
+                self.ncpus,
+                self.tuning.clone(),
+                Arc::clone(&self.pages),
+                Arc::clone(&self.rcu),
+            ),
+        }
     }
 
     fn label(&self) -> &str {

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of event kinds; sizes the per-lane kind-count arrays.
-pub const KIND_COUNT: usize = 22;
+pub const KIND_COUNT: usize = 25;
 
 /// What happened. The discriminant is the on-ring wire value, so new kinds
 /// must only ever be appended.
@@ -81,6 +81,16 @@ pub enum EventKind {
     /// (`a` = 1 enabled / 0 disabled after the change, `b` = engine now
     /// in effect: 1 = rseq, 2 = slot-lock emulation).
     FastpathToggle = 21,
+    /// A hazard-pointer retire-list scan ran (`a` = objects reclaimed,
+    /// `b` = objects kept because a hazard protected them).
+    HpScan = 22,
+    /// A Hyaline-style batch was sealed with its reader reference set
+    /// (`a` = objects in the batch, `b` = reader references captured).
+    BatchSeal = 23,
+    /// A stalled reader was ejected so the batches it blocked could be
+    /// released (`a` = offending thread-record id, `b` = the pin
+    /// sequence being revoked).
+    ReaderEject = 24,
 }
 
 impl EventKind {
@@ -108,6 +118,9 @@ impl EventKind {
         EventKind::FastpathEngine,
         EventKind::FastpathDrain,
         EventKind::FastpathToggle,
+        EventKind::HpScan,
+        EventKind::BatchSeal,
+        EventKind::ReaderEject,
     ];
 
     /// Stable snake_case name used in exports and kind-count tables.
@@ -135,6 +148,9 @@ impl EventKind {
             EventKind::FastpathEngine => "fastpath_engine",
             EventKind::FastpathDrain => "fastpath_drain",
             EventKind::FastpathToggle => "fastpath_toggle",
+            EventKind::HpScan => "hp_scan",
+            EventKind::BatchSeal => "batch_seal",
+            EventKind::ReaderEject => "reader_eject",
         }
     }
 

@@ -119,10 +119,14 @@ impl EventRing {
         }
         let lane_idx = lane % self.lanes.len();
         let lane = &*self.lanes[lane_idx];
-        let count = &lane.counts[kind as usize];
-        count.store(count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
-        let claim = lane.head.load(Ordering::Relaxed);
-        lane.head.store(claim + 1, Ordering::Relaxed);
+        // The kind totals and the head claim must be RMWs, not
+        // load-then-store: `record_thread` maps arbitrary threads onto a
+        // bounded lane set, so concurrent writers on one lane are a
+        // tolerated (checksum-guarded) mode — a plain load+store pair
+        // here loses increments under exactly that collision, which made
+        // the overflow-proof kind totals quietly inexact.
+        lane.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        let claim = lane.head.fetch_add(1, Ordering::Relaxed);
         let words = [
             claim + 1, // +1 so an untouched (all-zero) slot is recognizable
             t_ns,
@@ -388,5 +392,50 @@ mod tests {
         assert_eq!(snap.torn, 0);
         assert_eq!(snap.dropped, 0);
         assert_eq!(snap.events.len(), 400);
+    }
+
+    /// Regression: the per-kind totals and the head claim are RMW
+    /// increments. Hammering one lane from many threads (the tolerated
+    /// `record_thread` collision mode) must account *every* record
+    /// exactly — the old load-then-store pair lost increments under
+    /// contention, so `recorded` and the kind totals drifted below the
+    /// true event count.
+    #[test]
+    fn colliding_writers_keep_counts_exact() {
+        let _guard = crate::flag_guard();
+        const WRITERS: usize = 8;
+        const PER_WRITER: u64 = 20_000;
+        let ring = std::sync::Arc::new(EventRing::new(1, 8));
+        let start = std::sync::Arc::new(std::sync::Barrier::new(WRITERS));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                let start = std::sync::Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    for i in 0..PER_WRITER {
+                        // Alternate kinds so per-kind totals are checked
+                        // under contention too, not just the head.
+                        let kind = if i % 2 == 0 {
+                            EventKind::GpBegin
+                        } else {
+                            EventKind::DeferredFree
+                        };
+                        ring.record(0, kind, t as u32, i, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = WRITERS as u64 * PER_WRITER;
+        let snap = ring.snapshot();
+        assert_eq!(snap.recorded, total, "head claims lost under contention");
+        let kind_total = |name: &str| {
+            snap.kind_counts.iter().find(|(k, _)| k == name).unwrap().1
+        };
+        assert_eq!(kind_total("gp_begin"), total / 2);
+        assert_eq!(kind_total("deferred_free"), total / 2);
     }
 }

@@ -4,9 +4,14 @@
 //! ```text
 //! chaos [--scenario mixed|stalled-reader|oom-storm|fastpath-flap|all]
 //!       [--seed N | --seeds 1,2,3] [--allocator slub|prudence|both]
+//!       [--reclaim epoch|hp|hyaline] [--garbage-bound N]
 //!       [--duration SECS] [--threads N] [--ops N] [--keys N]
 //!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]
 //! ```
+//!
+//! `--reclaim` pins the reclamation backend; without it the run honours
+//! `PBS_RECLAIM`, so the CI matrix drives the whole binary through one
+//! environment variable.
 //!
 //! Every failing report prints a one-line replay command (seed, scenario
 //! and allocator pin the whole fault plan) so a red CI run can be
@@ -91,6 +96,8 @@ fn main() {
             duration: parse_opt::<f64>(&args, "--duration")
                 .map(std::time::Duration::from_secs_f64)
                 .or(base.duration),
+            reclaim: parse_opt(&args, "--reclaim").map(Some).unwrap_or(base.reclaim),
+            garbage_bound: parse_opt(&args, "--garbage-bound").unwrap_or(base.garbage_bound),
             ..base
         };
         for &seed in &seeds {

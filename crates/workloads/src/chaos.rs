@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 
 use pbs_alloc_api::{fastpath_default_engine, FastPathEngine, ObjPtr};
 use pbs_fault::{site, FaultInjector, Schedule};
+use pbs_rcu::reclaim::{ReclaimBackend, ReclaimConfig, ReclaimStats};
 use pbs_rcu::RcuConfig;
 use pbs_slub::SlubTuning;
 use pbs_structs::{RcuBst, RcuHashMap};
@@ -130,6 +131,15 @@ pub struct ChaosParams {
     /// instead of counting ops — scenarios that must outlast the stall
     /// threshold need real time, not an op budget.
     pub duration: Option<Duration>,
+    /// Reclamation backend override; `None` honours `PBS_RECLAIM` (so the
+    /// CI matrix switches the whole harness with one variable).
+    pub reclaim: Option<ReclaimBackend>,
+    /// Stalled-reader scenario: the garbage bound the robust backends
+    /// must hold while a reader stays pinned. The epoch backend must
+    /// *exceed* it in the same position — that unbounded growth is the
+    /// documented bug the robust backends exist to bound, and the probe
+    /// fails the run if either side of the contrast goes missing.
+    pub garbage_bound: usize,
 }
 
 impl Default for ChaosParams {
@@ -144,6 +154,8 @@ impl Default for ChaosParams {
             stall_fault_p: 0.10,
             scenario: ChaosScenario::Mixed,
             duration: None,
+            reclaim: None,
+            garbage_bound: 256,
         }
     }
 }
@@ -192,6 +204,8 @@ pub struct ChaosReport {
     pub allocator: String,
     /// Scenario label.
     pub scenario: String,
+    /// Reclamation backend label (`epoch`, `hp` or `hyaline`).
+    pub reclaim_backend: String,
     /// The seed the run (and any replay) used.
     pub seed: u64,
     /// Operations completed across all workers.
@@ -233,6 +247,18 @@ pub struct ChaosReport {
     /// Fast-path state changes the flap toggler performed (0 outside the
     /// fastpath-flap scenario).
     pub fastpath_flips: u64,
+    /// Stalled-reader scenario: deferred objects still outstanding on the
+    /// probe cache while a reader stayed pinned (`None` outside that
+    /// scenario). Robust backends must keep this at or below
+    /// [`stalled_garbage_bound`](Self::stalled_garbage_bound); the epoch
+    /// backend must exceed it — its unbounded growth under a stalled
+    /// reader is the failure mode the comparison matrix documents.
+    pub stalled_garbage_observed: Option<usize>,
+    /// The bound the probe held the robust backends to.
+    pub stalled_garbage_bound: usize,
+    /// The shared reclamation domain's backend counters at the end of the
+    /// run (scans, seals, captures, ejections, injected refusals).
+    pub reclaim: ReclaimStats,
     /// Invariant violations; empty on a passing run.
     pub violations: Vec<String>,
 }
@@ -245,12 +271,20 @@ impl ChaosReport {
 
     /// One-line summary for logs.
     pub fn render(&self) -> String {
+        let garbage = match self.stalled_garbage_observed {
+            Some(observed) => format!(
+                ", stalled garbage {observed}/{} bound",
+                self.stalled_garbage_bound
+            ),
+            None => String::new(),
+        };
         format!(
-            "chaos[{} {} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
+            "chaos[{} {} {} seed={}]: {} ops, {} ooms ({} injected), {} gp stalls, \
              {} warns, {} expedited, {} rescued, fastpath {}h/{}f/{} flips, \
-             peak {}/{} KiB, {} panics — {}",
+             peak {}/{} KiB, {} panics{garbage} — {}",
             self.allocator,
             self.scenario,
+            self.reclaim_backend,
             self.seed,
             self.ops_completed,
             self.oom_errors,
@@ -275,8 +309,8 @@ impl ChaosReport {
     pub fn replay_command(&self) -> String {
         format!(
             "cargo run --release -p pbs-workloads --bin chaos -- \
-             --scenario {} --seed {} --allocator {}",
-            self.scenario, self.seed, self.allocator
+             --scenario {} --seed {} --allocator {} --reclaim {}",
+            self.scenario, self.seed, self.allocator, self.reclaim_backend
         )
     }
 }
@@ -298,6 +332,27 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     };
     faults.schedule(grow_site, Schedule::Probability(params.grow_fault_p));
     faults.schedule(site::RCU_ADVANCE, Schedule::Probability(params.stall_fault_p));
+    // The generalized reclamation site: HP scans and Hyaline seals consult
+    // it, and the epoch grace-period advance honours it alongside its
+    // legacy site — so the same stall probability starves every backend.
+    faults.schedule(
+        site::RECLAIM_ADVANCE,
+        Schedule::Probability(params.stall_fault_p),
+    );
+
+    let backend = params.reclaim.unwrap_or_else(ReclaimBackend::from_env);
+    // Robust backends reclaim while readers stay pinned; a guard alone no
+    // longer protects a traversal, so the op mix below swaps the
+    // structure-walk arms for raw alloc/free/defer traffic.
+    let robust = backend != ReclaimBackend::Epoch;
+    let reclaim_config = if robust {
+        // Small batches / low scan thresholds and a short ejection fuse:
+        // chaos runs are ~150 ms, so the garbage bound must be reachable
+        // within a few milliseconds of stall.
+        ReclaimConfig::aggressive()
+    } else {
+        ReclaimConfig::default()
+    };
 
     // Scenario knobs. The stalled-reader run lowers the watchdog threshold
     // below its pin pulses so warnings are reachable in a short run; the
@@ -335,6 +390,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         Some(Arc::clone(&faults)),
         slub_tuning,
         prudence_config,
+        Some((backend, reclaim_config)),
     );
     let node_cache = bed.create_cache("chaos_node", 64);
     let obj_cache = bed.create_cache("chaos_obj", 128);
@@ -460,6 +516,24 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                         } else {
                             roll
                         };
+                        // Robust backends free retired objects even while
+                        // readers are pinned, so a guard-only traversal of
+                        // the RCU structures would be a use-after-free by
+                        // design (their reader contract needs hazard
+                        // publication or batch-ref validation, which the
+                        // structs don't speak yet). Swap the structure arms
+                        // for raw defer/alloc traffic — the garbage-bound
+                        // probe below is what actually exercises the
+                        // backend's stall behaviour.
+                        let roll = if robust {
+                            match roll {
+                                6..=8 => 4, // tree/map churn -> deferred free
+                                9 => 0,     // guarded traversal -> alloc+hold
+                                other => other,
+                            }
+                        } else {
+                            roll
+                        };
                         match roll {
                             // Raw allocation, held for later free/defer.
                             0..=2 => match obj_cache.allocate() {
@@ -577,6 +651,77 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         }
     });
 
+    // Stalled-garbage probe (stalled-reader scenario only): allocate a
+    // garbage mountain, pin a reader, defer everything under the pin, then
+    // measure what the backend reclaimed *while the reader stayed pinned*.
+    // Robust backends must hold `deferred_outstanding` at or below the
+    // configured bound; the epoch backend must exceed it — if it doesn't,
+    // the probe was inert and the unbounded-garbage failure mode the
+    // matrix documents never reproduced, which is itself a violation.
+    let mut stalled_garbage_observed = None;
+    if params.scenario == ChaosScenario::StalledReader {
+        let probe_cache = bed.create_cache("chaos_probe", 64);
+        // Allocate before pinning: failed grows take recovery paths that
+        // may wait on reclamation, which must not happen under our own pin.
+        let target = params.garbage_bound * 4;
+        let mut objs: Vec<ObjPtr> = Vec::with_capacity(target);
+        let mut attempts = 0usize;
+        while objs.len() < target && attempts < target * 8 {
+            attempts += 1;
+            match probe_cache.allocate() {
+                Ok(obj) => objs.push(obj),
+                Err(_) => oom_errors += 1,
+            }
+        }
+        if objs.len() < params.garbage_bound * 2 {
+            violations.push(format!(
+                "stalled-garbage probe starved: allocated {} of {target} objects",
+                objs.len()
+            ));
+            for obj in objs.drain(..) {
+                unsafe { probe_cache.free(obj) };
+            }
+        } else {
+            let reader = bed.rcu().register();
+            let guard = reader.read_lock();
+            let deferred = objs.len();
+            for obj in objs.drain(..) {
+                unsafe { probe_cache.free_deferred(obj) };
+            }
+            // Let ejection fuses burn down, then drive the domain. A
+            // single advance is flaky under injected `reclaim.advance`
+            // refusals (each refusal merely procrastinates), so insist.
+            std::thread::sleep(Duration::from_millis(5));
+            for _ in 0..8 {
+                bed.reclaim_domain().advance();
+            }
+            let observed = probe_cache.deferred_outstanding();
+            stalled_garbage_observed = Some(observed);
+            if robust && observed > params.garbage_bound {
+                violations.push(format!(
+                    "{backend}: {observed} of {deferred} deferred objects outstanding \
+                     under a stalled reader, bound is {}",
+                    params.garbage_bound
+                ));
+            }
+            if !robust && observed <= params.garbage_bound {
+                violations.push(format!(
+                    "epoch probe inert: only {observed} of {deferred} deferred objects \
+                     were blocked by a stalled reader — the unbounded-garbage failure \
+                     mode this matrix documents did not reproduce"
+                ));
+            }
+            drop(guard);
+        }
+        probe_cache.quiesce();
+        let left = probe_cache.deferred_outstanding();
+        if left != 0 {
+            violations.push(format!(
+                "probe cache left {left} deferred objects after quiesce"
+            ));
+        }
+    }
+
     // Quiesce with the staller gone: every deferred object must drain.
     node_cache.quiesce();
     obj_cache.quiesce();
@@ -618,15 +763,27 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     }
     // The background grace-period driver keeps consulting the injector
     // while we read, so the two counters can't be compared for equality.
-    // The domain bumps its stat strictly *after* the injector records the
-    // hit, so sampling stats first guarantees stats <= injector.
+    // Domains bump their stat strictly *after* the injector records the
+    // hit, so sampling stats first guarantees stats <= injector. Stall
+    // refusals now land at two sites — the epoch advance consults both
+    // `rcu.advance` and `reclaim.advance`, and the robust backends' scans
+    // and seals consult `reclaim.advance` — so both sides are summed.
     let rcu_stats = bed.rcu().stats();
+    let reclaim_stats = bed.reclaim_stats();
     let injected_oom = faults.injected(grow_site);
-    if rcu_stats.injected_gp_stalls > faults.injected(site::RCU_ADVANCE) {
+    // The epoch domain *mirrors* the RCU stall counter into its
+    // `injected_stalls`, so adding the two would double-count; only the
+    // robust backends refuse scans/seals on their own behalf.
+    let stall_stats = if robust {
+        rcu_stats.injected_gp_stalls + reclaim_stats.injected_stalls
+    } else {
+        rcu_stats.injected_gp_stalls
+    };
+    let stall_injected =
+        faults.injected(site::RCU_ADVANCE) + faults.injected(site::RECLAIM_ADVANCE);
+    if stall_stats > stall_injected {
         violations.push(format!(
-            "gp stall accounting disagrees: stats {} > injector {}",
-            rcu_stats.injected_gp_stalls,
-            faults.injected(site::RCU_ADVANCE)
+            "stall accounting disagrees: stats {stall_stats} > injector {stall_injected}"
         ));
     }
     // Every injected OOM must be observable: either a worker saw the Err,
@@ -722,6 +879,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     ChaosReport {
         allocator: kind.label().to_owned(),
         scenario: params.scenario.label().to_owned(),
+        reclaim_backend: backend.label().to_owned(),
         seed: params.seed,
         ops_completed,
         oom_errors,
@@ -741,6 +899,9 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         fastpath_hits,
         fastpath_fallbacks,
         fastpath_flips,
+        stalled_garbage_observed,
+        stalled_garbage_bound: params.garbage_bound,
+        reclaim: reclaim_stats,
         violations,
     }
 }
@@ -855,6 +1016,42 @@ mod tests {
             );
             assert_eq!(report.deferred_outstanding_end, 0);
             assert_eq!(report.panics, 0);
+        }
+    }
+
+    #[test]
+    fn stalled_reader_garbage_bound_gates_every_backend() {
+        // The comparison matrix's central gate: with a deliberately
+        // stalled reader, hp and hyaline keep the probe's outstanding
+        // garbage at or below the bound while epoch demonstrably exceeds
+        // it. `run_chaos` turns either side failing into a violation, so
+        // `passed()` carries the whole contrast; the explicit assertions
+        // below just make the failure message name the number.
+        for backend in ReclaimBackend::ALL {
+            let params = ChaosParams {
+                threads: 2,
+                seed: 29,
+                duration: Some(Duration::from_millis(80)),
+                reclaim: Some(backend),
+                ..ChaosParams::for_scenario(ChaosScenario::StalledReader)
+            };
+            for kind in AllocatorKind::BOTH {
+                let report = run_chaos(kind, &params);
+                assert!(
+                    report.passed(),
+                    "{}\nreplay: {}",
+                    report.render(),
+                    report.replay_command()
+                );
+                let observed = report
+                    .stalled_garbage_observed
+                    .expect("stalled-reader runs always probe");
+                if backend == ReclaimBackend::Epoch {
+                    assert!(observed > report.stalled_garbage_bound, "{}", report.render());
+                } else {
+                    assert!(observed <= report.stalled_garbage_bound, "{}", report.render());
+                }
+            }
         }
     }
 

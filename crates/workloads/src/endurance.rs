@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use pbs_mem::WatermarkSampler;
+use pbs_rcu::reclaim::{ReclaimBackend, ReclaimConfig};
 use pbs_rcu::RcuConfig;
 use pbs_structs::RcuList;
 
@@ -37,6 +38,12 @@ pub struct EnduranceParams {
     pub memory_limit: usize,
     /// Used-memory sampling interval (10 ms in the paper).
     pub sample_interval: Duration,
+    /// Reclamation backend to run under; `None` honours `PBS_RECLAIM` so
+    /// the CI matrix drives the same curve through every domain. The
+    /// Figure 3 pathology tests pin `Epoch`: the baseline's fatal
+    /// callback backlog *is* the epoch path, and a robust backend
+    /// reclaiming promptly makes the expected OOM vanish.
+    pub reclaim: Option<ReclaimBackend>,
 }
 
 impl Default for EnduranceParams {
@@ -47,6 +54,7 @@ impl Default for EnduranceParams {
             duration: Duration::from_secs(10),
             memory_limit: 64 << 20,
             sample_interval: Duration::from_millis(10),
+            reclaim: None,
         }
     }
 }
@@ -129,6 +137,9 @@ pub fn run_endurance(kind: AllocatorKind, params: &EnduranceParams) -> Endurance
             ..Default::default()
         }),
         None,
+        params
+            .reclaim
+            .map(|backend| (backend, ReclaimConfig::default())),
     );
     let sampler = WatermarkSampler::start(Arc::clone(bed.pages()), params.sample_interval);
     let oom = Arc::new(AtomicBool::new(false));
@@ -213,6 +224,7 @@ mod tests {
             duration: Duration::from_millis(1500),
             memory_limit: limit,
             sample_interval: Duration::from_millis(5),
+            reclaim: None,
         }
     }
 
@@ -228,8 +240,14 @@ mod tests {
     #[test]
     fn slub_exhausts_memory_under_sustained_deferral() {
         // A small budget makes the baseline's extended object lifetimes
-        // fatal quickly, as in Figure 3.
-        let report = run_endurance(AllocatorKind::Slub, &quick(6 << 20));
+        // fatal quickly, as in Figure 3. Pinned to the epoch domain: the
+        // fatal backlog is the callback path's pathology, and a robust
+        // backend (PBS_RECLAIM=hp/hyaline) reclaims it away.
+        let params = EnduranceParams {
+            reclaim: Some(ReclaimBackend::Epoch),
+            ..quick(6 << 20)
+        };
+        let report = run_endurance(AllocatorKind::Slub, &params);
         assert!(
             report.oom_at_ms.is_some(),
             "baseline should hit OOM: peak={} final={}",

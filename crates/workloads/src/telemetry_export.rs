@@ -394,7 +394,22 @@ mod tests {
     use pbs_rcu::RcuConfig;
 
     fn exercised_snapshot() -> TelemetrySnapshot {
-        let bed = Testbed::new(AllocatorKind::Prudence, 2, RcuConfig::eager(), None);
+        // Pinned to the epoch domain: the assertions below count on the
+        // legacy deferred path's latent-stamp events, which robust
+        // backends (a PBS_RECLAIM=hp/hyaline environment) divert around.
+        let bed = Testbed::new_tuned(
+            AllocatorKind::Prudence,
+            2,
+            RcuConfig::eager(),
+            None,
+            None,
+            None,
+            None,
+            Some((
+                pbs_rcu::reclaim::ReclaimBackend::Epoch,
+                pbs_rcu::reclaim::ReclaimConfig::default(),
+            )),
+        );
         let cache = bed.create_cache("kmalloc-64", 64);
         for _ in 0..50 {
             let o = cache.allocate().unwrap();

@@ -6,6 +6,9 @@ use parking_lot::Mutex;
 
 use pbs_alloc_api::{CacheFactory, ObjectAllocator, TelemetrySnapshot};
 use pbs_mem::PageAllocator;
+use pbs_rcu::reclaim::{
+    domain_for, ReclaimBackend, ReclaimConfig, ReclaimStats, ReclamationDomain,
+};
 use pbs_rcu::{Rcu, RcuConfig};
 use pbs_slub::{SlubFactory, SlubTuning};
 use prudence::{PrudenceConfig, PrudenceFactory};
@@ -56,6 +59,9 @@ pub struct Testbed {
     kind: AllocatorKind,
     pages: Arc<PageAllocator>,
     rcu: Arc<Rcu>,
+    /// The reclamation domain every cache of this testbed shares —
+    /// `PBS_RECLAIM` (or an explicit override) decides the backend.
+    domain: Arc<dyn ReclamationDomain>,
     factory: Box<dyn CacheFactory>,
     /// Weak handles to every cache created through this testbed, so
     /// [`Testbed::telemetry`] can sweep them without keeping them alive
@@ -92,7 +98,7 @@ impl Testbed {
         limit_bytes: Option<usize>,
         faults: Option<Arc<pbs_fault::FaultInjector>>,
     ) -> Self {
-        Self::new_tuned(kind, ncpus, rcu_config, limit_bytes, faults, None, None)
+        Self::new_tuned(kind, ncpus, rcu_config, limit_bytes, faults, None, None, None)
     }
 
     /// [`new_with_faults`](Self::new_with_faults) plus explicit allocator
@@ -102,6 +108,12 @@ impl Testbed {
     /// `prudence_config` overrides the Prudence configuration wholesale
     /// (its `ncpus` is forced to match). Each override applies only to its
     /// own allocator kind; `None` keeps the defaults.
+    ///
+    /// `reclaim` overrides the reclamation backend and its tuning;
+    /// `None` falls back to `PBS_RECLAIM` (default: `epoch`, the paper's
+    /// scheme) with default tuning — so the whole harness fleet switches
+    /// backend via one environment variable, mirroring `PBS_FASTPATH`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new_tuned(
         kind: AllocatorKind,
         ncpus: usize,
@@ -110,6 +122,7 @@ impl Testbed {
         faults: Option<Arc<pbs_fault::FaultInjector>>,
         slub_tuning: Option<SlubTuning>,
         prudence_config: Option<PrudenceConfig>,
+        reclaim: Option<(ReclaimBackend, ReclaimConfig)>,
     ) -> Self {
         let mut builder = PageAllocator::builder();
         if let Some(limit) = limit_bytes {
@@ -131,20 +144,23 @@ impl Testbed {
                 .with_pressure_probe(Arc::new(move || probe_pages.pressure()));
         }
         let rcu = Arc::new(Rcu::with_config(rcu_config));
+        let (backend, reclaim_config) =
+            reclaim.unwrap_or_else(|| (ReclaimBackend::from_env(), ReclaimConfig::default()));
+        let domain = domain_for(Arc::clone(&rcu), backend, reclaim_config);
         let factory: Box<dyn CacheFactory> = match kind {
-            AllocatorKind::Slub => Box::new(SlubFactory::with_tuning(
+            AllocatorKind::Slub => Box::new(SlubFactory::with_domain(
                 ncpus,
                 slub_tuning.unwrap_or_default(),
                 Arc::clone(&pages),
-                Arc::clone(&rcu),
+                Arc::clone(&domain),
             )),
             AllocatorKind::Prudence => {
                 let mut config = prudence_config.unwrap_or_else(|| PrudenceConfig::new(ncpus));
                 config.ncpus = ncpus;
-                Box::new(PrudenceFactory::new(
+                Box::new(PrudenceFactory::with_domain(
                     config,
                     Arc::clone(&pages),
-                    Arc::clone(&rcu),
+                    Arc::clone(&domain),
                 ))
             }
         };
@@ -152,6 +168,7 @@ impl Testbed {
             kind,
             pages,
             rcu,
+            domain,
             factory,
             created: Mutex::new(Vec::new()),
         }
@@ -170,6 +187,22 @@ impl Testbed {
     /// The shared RCU domain.
     pub fn rcu(&self) -> &Arc<Rcu> {
         &self.rcu
+    }
+
+    /// The shared reclamation domain every cache of this testbed routes
+    /// deferred frees through.
+    pub fn reclaim_domain(&self) -> &Arc<dyn ReclamationDomain> {
+        &self.domain
+    }
+
+    /// The reclamation backend in effect.
+    pub fn reclaim_backend(&self) -> ReclaimBackend {
+        self.domain.backend()
+    }
+
+    /// Snapshot of the shared domain's backend statistics.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.domain.reclaim_stats()
     }
 
     /// The cache factory for subsystem construction.
