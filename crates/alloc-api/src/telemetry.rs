@@ -6,7 +6,9 @@
 //! exporters — Prometheus text, chrome://tracing JSON — live downstream in
 //! `pbs-workloads` and render it without touching live allocator state.
 
-use pbs_rcu::RcuStats;
+use pbs_rcu::reclaim::ReclaimStats;
+use pbs_rcu::{BlameReport, RcuStats};
+use pbs_telemetry::site::SiteReport;
 use pbs_telemetry::ComponentTelemetry;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +52,14 @@ pub struct TelemetrySnapshot {
     pub rcu_telemetry: ComponentTelemetry,
     /// Per-cache telemetry, one entry per captured cache.
     pub caches: Vec<CacheTelemetry>,
+    /// Reclamation-backend counters of the domain the caches route
+    /// deferred frees through (scan/seal/eject activity).
+    pub reclaim: ReclaimStats,
+    /// Stall-blame records: who wedged reclamation, for how long,
+    /// history plus any still-open episode last.
+    pub blame: Vec<BlameReport>,
+    /// Per-call-site garbage attribution and age distribution.
+    pub sites: SiteReport,
 }
 
 impl TelemetrySnapshot {
@@ -59,6 +69,9 @@ impl TelemetrySnapshot {
             rcu,
             rcu_telemetry,
             caches: Vec::new(),
+            reclaim: ReclaimStats::default(),
+            blame: Vec::new(),
+            sites: SiteReport::default(),
         }
     }
 
@@ -77,6 +90,7 @@ impl TelemetrySnapshot {
         self.rcu.fallback_fence_advances += other.rcu.fallback_fence_advances;
         self.rcu.injected_gp_stalls += other.rcu.injected_gp_stalls;
         self.rcu.stall_warnings += other.rcu.stall_warnings;
+        self.rcu.stall_blames += other.rcu.stall_blames;
         self.rcu.longest_stall_ns = self.rcu.longest_stall_ns.max(other.rcu.longest_stall_ns);
         self.rcu.active_stalls += other.rcu.active_stalls;
         self.rcu.expedited_gps += other.rcu.expedited_gps;
@@ -88,6 +102,19 @@ impl TelemetrySnapshot {
             .max_callback_backlog
             .max(other.rcu.max_callback_backlog);
         self.rcu_telemetry.merge(&other.rcu_telemetry);
+        if self.reclaim.backend.is_empty() {
+            self.reclaim.backend = other.reclaim.backend.clone();
+        }
+        self.reclaim.deferred_in_domain += other.reclaim.deferred_in_domain;
+        self.reclaim.scans += other.reclaim.scans;
+        self.reclaim.scan_reclaimed += other.reclaim.scan_reclaimed;
+        self.reclaim.scan_protected += other.reclaim.scan_protected;
+        self.reclaim.batches_sealed += other.reclaim.batches_sealed;
+        self.reclaim.batch_refs_captured += other.reclaim.batch_refs_captured;
+        self.reclaim.ejections += other.reclaim.ejections;
+        self.reclaim.injected_stalls += other.reclaim.injected_stalls;
+        self.blame.extend(other.blame.iter().cloned());
+        self.sites.merge(&other.sites);
         for cache in &other.caches {
             match self.caches.iter_mut().find(|c| c.name == cache.name) {
                 Some(mine) => {

@@ -123,6 +123,11 @@ pub trait ObjectAllocator: Send + Sync {
     /// allocator and must not be freed again. The caller must have unlinked
     /// the object so no *new* readers can reach it; pre-existing RCU readers
     /// may keep reading it until the grace period completes.
+    ///
+    /// Declared `#[track_caller]` so implementations can attribute the
+    /// deferred garbage to the freeing call site (the attribute is
+    /// inherited by every implementation, including through `dyn`).
+    #[track_caller]
     unsafe fn free_deferred(&self, obj: ObjPtr);
 
     /// Size in bytes of objects served by this cache.

@@ -435,7 +435,8 @@ impl Inner {
         let merged = cpu.merge_caches(
             self.rcu.current_epoch(),
             self.policy.object_cache_size,
-            |queued_ns| {
+            |obj, queued_ns| {
+                pbs_telemetry::site::note_reclaimed(obj.addr());
                 if now != 0 && queued_ns != 0 {
                     self.stats
                         .defer_delay_ns
@@ -1163,6 +1164,19 @@ impl ObjectAllocator for PrudenceCache {
     }
 
     unsafe fn free_deferred(&self, obj: ObjPtr) {
+        if pbs_telemetry::enabled() {
+            // Stamp before entering the allocator: a robust defer can scan
+            // and reclaim on this same stack, and the domain-layer fallback
+            // stamp (`note_deferred_if_untracked`) must lose to this one so
+            // the report names the freeing call site, not the adapter.
+            let hook = self.inner.hook();
+            pbs_telemetry::site::note_deferred(
+                obj.addr(),
+                pbs_telemetry::site::intern(std::panic::Location::caller()),
+                self.inner.policy.object_size,
+                pbs_telemetry::site::backend_index(hook.domain.backend().label()),
+            );
+        }
         self.inner.free_deferred_inner(obj);
     }
 
@@ -1362,13 +1376,20 @@ mod tests {
     fn oom_deferral_reclaims_deferred_objects() {
         // Page budget fits ~6 slabs; with everything deferred, allocation
         // would OOM unless Prudence waits for the grace period (line 31).
+        // The driver is parked out of reach so the background GP cannot
+        // race the allocation loop and reclaim early — the *only* way
+        // the deferred objects come back is the OOM ladder's expedited
+        // grace period, which is exactly what this test pins.
         let policy = SizingPolicy::for_object_size(512);
         let pages = Arc::new(
             PageAllocator::builder()
                 .limit_bytes(6 * policy.slab_bytes)
                 .build(),
         );
-        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let rcu = Arc::new(Rcu::with_config(RcuConfig {
+            driver_interval: std::time::Duration::from_secs(3600),
+            ..RcuConfig::eager()
+        }));
         let cfg = PrudenceConfig::new(1).with_preflush(false);
         let c = PrudenceCache::new("t", 512, cfg, pages, rcu);
         let per_slab = c.policy().objects_per_slab;

@@ -34,13 +34,13 @@ impl CpuState {
     /// object cache, up to `capacity` (Algorithm 1, MERGE_CACHES,
     /// lines 60-65). Stamps are non-decreasing front-to-back, so a failed
     /// front check ends the merge. Returns the number merged; `on_merge`
-    /// receives each merged entry's defer-time clock so the caller can
-    /// record the defer→reusable delay.
+    /// receives each merged object and its defer-time clock so the caller
+    /// can record the defer→reusable delay and credit site attribution.
     pub(crate) fn merge_caches(
         &mut self,
         epoch: u64,
         capacity: usize,
-        mut on_merge: impl FnMut(u64),
+        mut on_merge: impl FnMut(ObjPtr, u64),
     ) -> usize {
         let mut merged = 0;
         while self.obj_cache.len() < capacity {
@@ -48,7 +48,7 @@ impl CpuState {
                 Some(&(_, gp, _)) if gp.is_completed_at(epoch) => {
                     let (obj, _, queued_ns) = self.latent.pop_front().expect("front exists");
                     self.obj_cache.push(obj);
-                    on_merge(queued_ns);
+                    on_merge(obj, queued_ns);
                     merged += 1;
                 }
                 _ => break,
@@ -94,11 +94,11 @@ mod tests {
         cpu.latent.push_back((obj(0x2000), early, 0));
         let raw = early.raw_epoch();
         assert_eq!(
-            cpu.merge_caches(raw + 1, 10, |_| {}),
+            cpu.merge_caches(raw + 1, 10, |_, _| {}),
             0,
             "grace period incomplete"
         );
-        assert_eq!(cpu.merge_caches(raw + 2, 10, |_| {}), 2);
+        assert_eq!(cpu.merge_caches(raw + 2, 10, |_, _| {}), 2);
         assert_eq!(cpu.obj_cache.len(), 2);
         assert!(cpu.latent.is_empty());
     }
@@ -110,7 +110,7 @@ mod tests {
         for i in 0..5 {
             cpu.latent.push_back((obj(0x1000 + i * 8), early, 0));
         }
-        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 3, |_| {}), 3);
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 3, |_, _| {}), 3);
         assert_eq!(cpu.obj_cache.len(), 3);
         assert_eq!(cpu.latent.len(), 2);
     }
@@ -124,7 +124,7 @@ mod tests {
         cpu.latent.push_back((obj(0x2000), early, 0));
         // Front not complete at early+2 even though the one behind is;
         // merge is conservative and stops.
-        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 10, |_| {}), 0);
+        assert_eq!(cpu.merge_caches(early.raw_epoch() + 2, 10, |_, _| {}), 0);
     }
 
     #[test]
@@ -134,7 +134,7 @@ mod tests {
         cpu.latent.push_back((obj(0x1000), early, 7));
         cpu.latent.push_back((obj(0x2000), early, 0)); // untimed entry
         let mut stamps = Vec::new();
-        cpu.merge_caches(early.raw_epoch() + 2, 10, |ns| stamps.push(ns));
+        cpu.merge_caches(early.raw_epoch() + 2, 10, |_, ns| stamps.push(ns));
         assert_eq!(stamps, vec![7, 0]);
     }
 

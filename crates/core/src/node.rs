@@ -36,6 +36,7 @@ impl PrudentSlab {
                 break;
             }
             self.deferred.pop_front();
+            pbs_telemetry::site::note_reclaimed(self.raw.object_ptr(idx).addr());
             self.raw.give_back_index(idx);
             reclaimed += 1;
         }

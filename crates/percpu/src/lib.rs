@@ -35,9 +35,11 @@
 //! bails to the caller's slow path.
 //!
 //! Statistics (`alloc_hits`, `free_hits`, `restarts`, `fallbacks`) are
-//! accumulated in plain thread-local cells — counting must not
-//! reintroduce the atomics the fast path just removed — and flushed to
-//! shared sinks at thread exit and on [`FastCache::snapshot`].
+//! accumulated in per-thread single-writer counters — plain load+store
+//! bumps, since counting must not reintroduce the atomics the fast path
+//! just removed — registered with a shared sink that
+//! [`FastCache::snapshot`] reads through, so no count ever waits on a
+//! thread-exit flush.
 //!
 //! [`rseq(2)`]: https://man7.org/linux/man-pages/man2/rseq.2.html
 
@@ -700,12 +702,12 @@ impl FastCache {
             .sum()
     }
 
-    /// Totals across all threads: the calling thread's thread-local
-    /// counts are flushed first, other threads' counts are whatever
-    /// they last flushed (thread exit or their own snapshot). Lock-engine
-    /// counts live in the slots and are always current.
+    /// Totals across all threads: the sink reads through every live
+    /// thread's registered counters plus the retired base, so counts
+    /// are exact for any reader ordered after the writes (a joined
+    /// scope, a quiesced testbed). Lock-engine counts live in the slots
+    /// and are always current.
     pub fn snapshot(&self) -> FastPathSnapshot {
-        tls::flush_current(self.id);
         let mut snap = self.sink.read();
         for slot in self.slots.iter() {
             snap.alloc_hits += slot.alloc_hits.load(Ordering::Relaxed);

@@ -1,0 +1,198 @@
+//! Stall blame: who is blocking the grace period, and for how long.
+//!
+//! The PR 5 watchdog already detects that *some* reader is pinned past the
+//! stall threshold; this module records *which one*. When an episode first
+//! crosses the threshold the advancer — which is already holding the
+//! registry lock and looking at the offending record — captures a
+//! [`BlameReport`]: the record id, the thread's registration-time name,
+//! the pinned epoch and pin sequence, the stall duration so far, and any
+//! hazard pointers the thread is publishing (the culprit's identity for
+//! the robust backends: a hazard address for `hp`, the pin sequence a
+//! sealed batch captured for `hyaline`).
+//!
+//! Exactly one report is created per stall episode — capture piggybacks
+//! the watchdog's per-episode `warned` latch, so duplicate warnings are
+//! structurally impossible. Subsequent scans only refresh the live
+//! report's duration; when the episode ends the report is marked cleared
+//! and retired to a bounded history.
+//!
+//! Everything here runs on the advancer/driver side. Readers never touch
+//! clocks, never write blame state, and keep their zero-overhead pin path.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// Retired (cleared) episodes kept for the doctor; oldest are dropped.
+const HISTORY_CAP: usize = 16;
+
+/// One attributed stall episode: the culprit and what it was doing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameReport {
+    /// Process-unique reader-record id of the culprit.
+    pub record_id: u64,
+    /// The culprit thread's name at registration ("" when unnamed).
+    pub thread_name: String,
+    /// Epoch the culprit has been pinned at for the whole episode.
+    pub pinned_epoch: u64,
+    /// The culprit's outermost-pin sequence at blame time — the identity a
+    /// Hyaline-style batch captures, so the doctor can tie the stall to
+    /// the batches it blocks.
+    pub pin_seq: u64,
+    /// How long the culprit had been pinned when last observed, in
+    /// nanoseconds. Refreshed every watchdog scan while the episode
+    /// lasts; frozen at clear time.
+    pub stalled_for_ns: u64,
+    /// Watchdog-clock timestamp (process-relative nanoseconds) the
+    /// episode started at.
+    pub since_ns: u64,
+    /// Non-empty hazard-pointer slots the culprit was publishing at blame
+    /// time — the addresses it pins against hazard scans.
+    pub hazards: Vec<usize>,
+    /// Whether the episode has ended (the reader unpinned or made
+    /// progress). Live culprits report `false`.
+    pub cleared: bool,
+}
+
+/// Driver-written, snapshot-read blame store. Guarded by a mutex in
+/// `Inner`; all writers run on the grace-period driver thread (or the
+/// watchdog caller), so the lock is uncontended in practice.
+#[derive(Default)]
+pub(crate) struct BlameState {
+    /// Live episodes by record id (several readers can stall at once).
+    active: HashMap<u64, BlameReport>,
+    /// Cleared episodes, oldest first, bounded by [`HISTORY_CAP`].
+    history: VecDeque<BlameReport>,
+    /// Total episodes ever attributed (not bounded by the history cap).
+    total: u64,
+}
+
+impl BlameState {
+    /// Opens a new episode for `report.record_id`. Called exactly once per
+    /// episode, at the same point the warn latch is set.
+    pub(crate) fn open(&mut self, report: BlameReport) {
+        self.total += 1;
+        // A stale live entry for the same record (episode ended while the
+        // watchdog was not looking — e.g. registry pruning races) retires
+        // to history rather than being overwritten silently.
+        if let Some(mut old) = self.active.remove(&report.record_id) {
+            old.cleared = true;
+            self.push_history(old);
+        }
+        self.active.insert(report.record_id, report);
+    }
+
+    /// Refreshes the live episode's observed duration.
+    pub(crate) fn refresh(&mut self, record_id: u64, stalled_for_ns: u64) {
+        if let Some(report) = self.active.get_mut(&record_id) {
+            report.stalled_for_ns = report.stalled_for_ns.max(stalled_for_ns);
+        }
+    }
+
+    /// Ends the episode for `record_id`, freezing its final duration.
+    pub(crate) fn clear(&mut self, record_id: u64, stalled_for_ns: u64) {
+        if let Some(mut report) = self.active.remove(&record_id) {
+            report.stalled_for_ns = report.stalled_for_ns.max(stalled_for_ns);
+            report.cleared = true;
+            self.push_history(report);
+        }
+    }
+
+    fn push_history(&mut self, report: BlameReport) {
+        if self.history.len() == HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.history.push_back(report);
+    }
+
+    /// Cleared history followed by live episodes (live last, so the most
+    /// actionable entry renders at the bottom of a transcript).
+    pub(crate) fn reports(&self) -> Vec<BlameReport> {
+        let mut out: Vec<BlameReport> = self.history.iter().cloned().collect();
+        let mut live: Vec<BlameReport> = self.active.values().cloned().collect();
+        live.sort_by_key(|r| r.since_ns);
+        out.extend(live);
+        out
+    }
+
+    /// Live (uncleared) episodes only.
+    pub(crate) fn active(&self) -> Vec<BlameReport> {
+        let mut live: Vec<BlameReport> = self.active.values().cloned().collect();
+        live.sort_by_key(|r| r.since_ns);
+        live
+    }
+
+    /// Total episodes ever attributed.
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u64, since: u64) -> BlameReport {
+        BlameReport {
+            record_id: id,
+            thread_name: format!("reader-{id}"),
+            since_ns: since,
+            stalled_for_ns: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn open_refresh_clear_lifecycle() {
+        let mut state = BlameState::default();
+        state.open(report(7, 10));
+        assert_eq!(state.active().len(), 1);
+        state.refresh(7, 500);
+        assert_eq!(state.active()[0].stalled_for_ns, 500);
+        state.refresh(7, 300);
+        assert_eq!(state.active()[0].stalled_for_ns, 500, "duration only grows");
+        state.clear(7, 900);
+        assert!(state.active().is_empty());
+        let all = state.reports();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].cleared);
+        assert_eq!(all[0].stalled_for_ns, 900);
+        assert_eq!(state.total(), 1);
+    }
+
+    #[test]
+    fn concurrent_culprits_coexist() {
+        let mut state = BlameState::default();
+        state.open(report(1, 5));
+        state.open(report(2, 3));
+        let live = state.active();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].record_id, 2, "sorted by episode start");
+        state.clear(1, 0);
+        assert_eq!(state.active().len(), 1);
+        assert_eq!(state.reports().len(), 2);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut state = BlameState::default();
+        for i in 0..(HISTORY_CAP as u64 + 5) {
+            state.open(report(i, i));
+            state.clear(i, i);
+        }
+        assert_eq!(state.reports().len(), HISTORY_CAP);
+        assert_eq!(state.total(), HISTORY_CAP as u64 + 5);
+    }
+
+    #[test]
+    fn reopen_retires_stale_entry() {
+        let mut state = BlameState::default();
+        state.open(report(4, 1));
+        state.open(report(4, 2));
+        assert_eq!(state.active().len(), 1);
+        let all = state.reports();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].cleared, "stale entry retired to history");
+        assert!(!all[1].cleared);
+    }
+}

@@ -12,6 +12,7 @@ use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use pbs_telemetry::{ComponentTelemetry, EventKind, EventRing, NamedHistogram};
 
+use crate::blame::{BlameReport, BlameState};
 use crate::callback::{reclaimer_loop, Callback, CallbackShard, RcuConfig};
 use crate::epoch::{GpState, ThreadRecord, HP_SLOTS};
 use crate::membarrier;
@@ -45,6 +46,9 @@ pub(crate) struct Inner {
     pub(crate) park_cv: std::sync::Condvar,
     pub(crate) stats: StatsInner,
     pub(crate) ring: EventRing,
+    /// Stall-blame store: written by the watchdog (driver thread), read by
+    /// snapshots. See [`crate::blame`].
+    pub(crate) blame: Mutex<BlameState>,
 }
 
 impl Inner {
@@ -275,6 +279,15 @@ impl Inner {
                 if !entry.warned && stalled_for >= threshold {
                     entry.warned = true;
                     self.warn_stall(rec.id(), stalled_for);
+                    // Blame capture rides the same per-episode latch as
+                    // the warning, so there is exactly one report per
+                    // episode. The record is in hand (registry locked),
+                    // so the culprit's identity — name, pin sequence,
+                    // published hazards — costs no extra synchronization
+                    // and no reader-side work.
+                    self.open_blame(rec, entry.pinned, stalled_for, entry.since_ns);
+                } else if entry.warned {
+                    self.blame.lock().refresh(rec.id(), stalled_for);
                 }
                 if entry.warned {
                     self.stats
@@ -319,6 +332,35 @@ impl Inner {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
     }
 
+    /// Opens the blame episode for a newly-warned stalled reader. Runs on
+    /// the watchdog caller with the registry lock held; the reader itself
+    /// does nothing (and in particular never touches a clock).
+    fn open_blame(
+        &self,
+        rec: &ThreadRecord,
+        pinned_epoch: Option<u64>,
+        stalled_for_ns: u64,
+        since_ns: u64,
+    ) {
+        let hazards: Vec<usize> = (0..HP_SLOTS).map(|s| rec.hazard(s)).filter(|&a| a != 0).collect();
+        let report = BlameReport {
+            record_id: rec.id(),
+            thread_name: rec.thread_name().to_string(),
+            pinned_epoch: pinned_epoch.unwrap_or_default(),
+            pin_seq: rec.pin_seq(),
+            stalled_for_ns,
+            since_ns,
+            hazards,
+            cleared: false,
+        };
+        self.stats.stall_blames.fetch_add(1, Ordering::Relaxed);
+        if pbs_telemetry::enabled() {
+            self.ring
+                .record_thread(EventKind::StallBlame, 0, rec.id(), report.pin_seq);
+        }
+        self.blame.lock().open(report);
+    }
+
     fn warn_stall(&self, record_id: u64, stalled_for_ns: u64) {
         self.stats.stall_warnings.fetch_add(1, Ordering::Relaxed);
         self.stats.active_stalls.fetch_add(1, Ordering::Relaxed);
@@ -333,6 +375,7 @@ impl Inner {
 
     fn clear_stall(&self, record_id: u64, stalled_for_ns: u64) {
         self.stats.active_stalls.fetch_sub(1, Ordering::Relaxed);
+        self.blame.lock().clear(record_id, stalled_for_ns);
         if pbs_telemetry::enabled() {
             self.ring
                 .record_thread(EventKind::StallClear, 0, stalled_for_ns, record_id);
@@ -432,6 +475,7 @@ impl Rcu {
             park_cv: std::sync::Condvar::new(),
             stats: StatsInner::default(),
             ring: EventRing::new(TRACE_LANES, TRACE_LANE_CAPACITY),
+            blame: Mutex::new(BlameState::default()),
         });
         let mut workers = Vec::new();
         // Grace-period driver: periodically attempts epoch advance so grace
@@ -594,6 +638,26 @@ impl Rcu {
     /// Snapshot of domain statistics.
     pub fn stats(&self) -> RcuStats {
         self.inner.stats.snapshot(self.callback_backlog())
+    }
+
+    /// Every stall-blame report the watchdog has captured: cleared
+    /// episodes first (bounded history), live culprits last. Empty until
+    /// a reader stalls past
+    /// [`stall_threshold`](crate::RcuConfig::stall_threshold).
+    pub fn blame_reports(&self) -> Vec<BlameReport> {
+        self.inner.blame.lock().reports()
+    }
+
+    /// Live (uncleared) blame reports only: the readers blocking the
+    /// grace period *right now*, ordered by episode start.
+    pub fn blame_active(&self) -> Vec<BlameReport> {
+        self.inner.blame.lock().active()
+    }
+
+    /// Total stall episodes ever attributed (not bounded by the report
+    /// history).
+    pub fn blame_total(&self) -> u64 {
+        self.inner.blame.lock().total()
     }
 
     /// Grace-period trace events and latency histograms for this domain:
@@ -1237,6 +1301,57 @@ mod tests {
         drop(g2);
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(rcu.stats().active_stalls, 0);
+    }
+
+    #[test]
+    fn stall_blame_names_the_culprit_exactly_once_per_episode() {
+        let rcu = Rcu::with_config(watchdog_config(Duration::from_millis(5)));
+        let t = rcu.register();
+        let guard = t.read_lock();
+        std::thread::sleep(Duration::from_millis(60));
+        let live = rcu.blame_active();
+        assert_eq!(live.len(), 1, "one live culprit while pinned");
+        let culprit = &live[0];
+        // The libtest harness names worker threads after the test, so the
+        // registration-time capture must surface it.
+        assert!(
+            culprit.thread_name.contains("stall_blame_names_the_culprit"),
+            "culprit names the parked thread, got {:?}",
+            culprit.thread_name
+        );
+        assert!(!culprit.cleared);
+        assert!(
+            culprit.stalled_for_ns >= 5_000_000,
+            "pin duration at least the threshold, got {}",
+            culprit.stalled_for_ns
+        );
+        assert!(
+            culprit.pinned_epoch <= rcu.current_epoch(),
+            "pinned epoch {} cannot be ahead of the global epoch {}",
+            culprit.pinned_epoch,
+            rcu.current_epoch()
+        );
+        assert!(culprit.pin_seq >= 1, "outermost-pin sequence captured");
+        assert_eq!(rcu.blame_total(), 1);
+        assert_eq!(rcu.stats().stall_blames, 1);
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(rcu.blame_active().is_empty(), "episode cleared on unpin");
+        let reports = rcu.blame_reports();
+        assert_eq!(reports.len(), 1, "exactly one blame record per episode");
+        assert!(reports[0].cleared);
+        assert!(
+            reports[0].stalled_for_ns >= 5_000_000,
+            "final duration frozen at clear"
+        );
+        // A fresh stall is a fresh episode with its own single record.
+        let g2 = t.read_lock();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(rcu.blame_total(), 2, "second episode, second record");
+        assert_eq!(rcu.blame_reports().len(), 2);
+        drop(g2);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(rcu.blame_active().is_empty());
     }
 
     #[test]

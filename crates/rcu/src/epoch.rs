@@ -103,6 +103,10 @@ pub(crate) struct ThreadRecord {
     /// watchdog attribute warnings to a specific reader without keying on
     /// (reusable) heap addresses.
     id: u64,
+    /// OS-level thread name captured at registration (records are built on
+    /// the reader's own thread), so stall blame can *name* the culprit.
+    /// Immutable after construction; empty when the thread is unnamed.
+    name: String,
 }
 
 impl ThreadRecord {
@@ -115,12 +119,18 @@ impl ThreadRecord {
             hazards: std::array::from_fn(|_| AtomicUsize::new(0)),
             active: AtomicBool::new(true),
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            name: std::thread::current().name().unwrap_or_default().to_string(),
         }
     }
 
     /// Process-unique record id (watchdog attribution).
     pub(crate) fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Name of the owning thread at registration time ("" when unnamed).
+    pub(crate) fn thread_name(&self) -> &str {
+        &self.name
     }
 
     /// Marks the thread as inside a critical section at `epoch`.

@@ -48,6 +48,7 @@
 //! # unsafe { drop(Box::from_raw(shared.load(Ordering::Acquire))) };
 //! ```
 
+mod blame;
 mod callback;
 mod domain;
 mod epoch;
@@ -55,6 +56,7 @@ mod membarrier;
 pub mod reclaim;
 mod stats;
 
+pub use blame::BlameReport;
 pub use callback::RcuConfig;
 pub use domain::{ReadGuard, Rcu, RcuThread};
 pub use epoch::GpState;

@@ -50,8 +50,18 @@ impl ReclamationDomain for EpochDomain {
     }
 
     fn defer(&self, client: ClientId, addr: usize) {
+        if pbs_telemetry::enabled() {
+            // Direct domain users get attributed here; allocator-layer
+            // callers already stamped the address with their own site.
+            pbs_telemetry::site::note_deferred_if_untracked(
+                addr,
+                pbs_telemetry::site::intern(std::panic::Location::caller()),
+                pbs_telemetry::site::BACKEND_EPOCH,
+            );
+        }
         let client = self.clients.lock()[client].clone();
         self.rcu.call_rcu(Box::new(move || {
+            pbs_telemetry::site::note_reclaimed(addr);
             if let Some(client) = client.upgrade() {
                 client.reclaim_addrs(&[addr]);
             }

@@ -151,6 +151,11 @@ impl HpDomain {
         let mut total = 0;
         for (client, addrs) in ready {
             total += addrs.len();
+            // Attribution: the scan proved these unprotected, so they are
+            // reusable now even if the client is already gone.
+            for &addr in &addrs {
+                pbs_telemetry::site::note_reclaimed(addr);
+            }
             let client = self.clients.lock().get(client).cloned();
             if let Some(client) = client.and_then(|weak| weak.upgrade()) {
                 client.reclaim_addrs(&addrs);
@@ -183,6 +188,15 @@ impl ReclamationDomain for HpDomain {
     }
 
     fn defer(&self, client: ClientId, addr: usize) {
+        if pbs_telemetry::enabled() {
+            // Direct domain users get attributed here; allocator-layer
+            // callers already stamped the address with their own site.
+            pbs_telemetry::site::note_deferred_if_untracked(
+                addr,
+                pbs_telemetry::site::intern(std::panic::Location::caller()),
+                pbs_telemetry::site::BACKEND_HP,
+            );
+        }
         let seq = self.retire_seq.fetch_add(1, Ordering::Relaxed) + 1;
         self.deferred.fetch_add(1, Ordering::Relaxed);
         let len = {

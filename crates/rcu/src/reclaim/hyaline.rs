@@ -269,6 +269,11 @@ impl HyalineDomain {
             }
         }
         for (client, addrs) in by_client {
+            // Attribution: the batch's reference set drained, so these are
+            // reusable now even if the client is already gone.
+            for &addr in &addrs {
+                pbs_telemetry::site::note_reclaimed(addr);
+            }
             let client = self.clients.lock().get(client).cloned();
             if let Some(client) = client.and_then(|weak| weak.upgrade()) {
                 client.reclaim_addrs(&addrs);
@@ -300,6 +305,15 @@ impl ReclamationDomain for HyalineDomain {
     }
 
     fn defer(&self, client: ClientId, addr: usize) {
+        if pbs_telemetry::enabled() {
+            // Direct domain users get attributed here; allocator-layer
+            // callers already stamped the address with their own site.
+            pbs_telemetry::site::note_deferred_if_untracked(
+                addr,
+                pbs_telemetry::site::intern(std::panic::Location::caller()),
+                pbs_telemetry::site::BACKEND_HYALINE,
+            );
+        }
         self.deferred.fetch_add(1, Ordering::Relaxed);
         let len = {
             let mut open = self.open.lock();

@@ -233,6 +233,11 @@ pub trait ReclamationDomain: Send + Sync {
     /// have unlinked the object (no *new* reader can reach it); the
     /// domain invokes [`ReclaimClient::reclaim_addrs`] once the backend
     /// proves no captured reader can still hold it.
+    ///
+    /// `#[track_caller]` so per-site garbage attribution can tag direct
+    /// domain users with their own call site (allocator-layer callers
+    /// stamp first and win; see `pbs_telemetry::site`).
+    #[track_caller]
     fn defer(&self, client: ClientId, addr: usize);
 
     /// One bounded reclamation-progress step (epoch-advance attempt,

@@ -29,6 +29,9 @@ pub(crate) struct StatsInner {
     /// Readers currently pinned past the stall threshold (gauge: incremented
     /// at warn, decremented at clear).
     pub(crate) active_stalls: AtomicU64,
+    /// Stall episodes attributed to a culprit reader (one blame report per
+    /// episode; see [`crate::BlameReport`]).
+    pub(crate) stall_blames: AtomicU64,
     /// Expedited grace-period drives (`synchronize_expedited` /
     /// `expedite`).
     pub(crate) expedited_gps: AtomicU64,
@@ -86,6 +89,7 @@ impl StatsInner {
             stall_warnings: self.stall_warnings.load(Ordering::Relaxed),
             longest_stall_ns: self.longest_stall_ns.load(Ordering::Relaxed),
             active_stalls: self.active_stalls.load(Ordering::Relaxed),
+            stall_blames: self.stall_blames.load(Ordering::Relaxed),
             expedited_gps: self.expedited_gps.load(Ordering::Relaxed),
             callbacks_enqueued: self.enqueued.load(Ordering::Relaxed),
             callbacks_processed: self.processed.load(Ordering::Relaxed),
@@ -140,6 +144,10 @@ pub struct RcuStats {
     /// Readers currently pinned past the stall threshold (gauge; returns
     /// to zero when every warned reader unpins).
     pub active_stalls: u64,
+    /// Stall episodes attributed to a culprit (equals the number of
+    /// [`BlameReport`](crate::BlameReport)s ever opened; at most one per
+    /// warned episode).
+    pub stall_blames: u64,
     /// Expedited grace-period drives
     /// ([`synchronize_expedited`](crate::Rcu::synchronize_expedited)).
     pub expedited_gps: u64,

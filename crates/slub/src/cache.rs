@@ -542,6 +542,9 @@ impl SlubCache {
         } else {
             // RCU callback returning a deferred object: this is the moment
             // the baseline makes it reusable. Slot lock held → lane owned.
+            // Credit site attribution here so both return routes (direct
+            // `call_rcu` and domain delivery) close the defer stamp.
+            pbs_telemetry::site::note_reclaimed(obj.addr());
             let prev = self.deferred_pending.fetch_sub(1, Ordering::Relaxed);
             // Downward pressure transitions happen here as the backlog
             // drains (gauge/counter only; the defer path owns the event).
@@ -633,6 +636,19 @@ impl ObjectAllocator for SlubCache {
     }
 
     unsafe fn free_deferred(&self, obj: ObjPtr) {
+        if pbs_telemetry::enabled() {
+            // Attribute the garbage to the freeing call site before any
+            // defer machinery runs (a robust defer may reclaim on this
+            // stack); the domain-layer fallback stamp is a no-op after
+            // this one.
+            let hook = self.hook();
+            pbs_telemetry::site::note_deferred(
+                obj.addr(),
+                pbs_telemetry::site::intern(std::panic::Location::caller()),
+                self.policy.object_size,
+                pbs_telemetry::site::backend_index(hook.domain.backend().label()),
+            );
+        }
         // Bump under the slot lock (matching the Prudence cache):
         // `live_delta` is a single-writer counter also updated by the
         // locked alloc/free paths with plain load+store pairs, so a

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of event kinds; sizes the per-lane kind-count arrays.
-pub const KIND_COUNT: usize = 25;
+pub const KIND_COUNT: usize = 26;
 
 /// What happened. The discriminant is the on-ring wire value, so new kinds
 /// must only ever be appended.
@@ -91,6 +91,11 @@ pub enum EventKind {
     /// released (`a` = offending thread-record id, `b` = the pin
     /// sequence being revoked).
     ReaderEject = 24,
+    /// The stall watchdog attributed a stall to a culprit reader: one
+    /// record per stall episode, emitted alongside the first
+    /// [`StallWarn`](Self::StallWarn) (`a` = offending thread-record id,
+    /// `b` = the culprit's pin sequence).
+    StallBlame = 25,
 }
 
 impl EventKind {
@@ -121,6 +126,7 @@ impl EventKind {
         EventKind::HpScan,
         EventKind::BatchSeal,
         EventKind::ReaderEject,
+        EventKind::StallBlame,
     ];
 
     /// Stable snake_case name used in exports and kind-count tables.
@@ -151,6 +157,7 @@ impl EventKind {
             EventKind::HpScan => "hp_scan",
             EventKind::BatchSeal => "batch_seal",
             EventKind::ReaderEject => "reader_eject",
+            EventKind::StallBlame => "stall_blame",
         }
     }
 

@@ -25,6 +25,7 @@
 mod event;
 mod hist;
 mod ring;
+pub mod site;
 
 pub use event::{EventKind, EventSnapshot, KIND_COUNT};
 pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, BUCKETS};

@@ -7,6 +7,7 @@
 //!       [--reclaim epoch|hp|hyaline] [--garbage-bound N]
 //!       [--duration SECS] [--threads N] [--ops N] [--keys N]
 //!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]
+//!       [--doctor-smoke]
 //! ```
 //!
 //! `--reclaim` pins the reclamation backend; without it the run honours
@@ -73,6 +74,9 @@ fn main() {
         }
     };
     let json = args.iter().any(|a| a == "--json");
+    // Spin up the live doctor endpoint inside every run and poll it mid-chaos;
+    // under stalled-reader the smoke also insists /doctor names the staller.
+    let doctor_smoke = args.iter().any(|a| a == "--doctor-smoke");
 
     // Own-process decision: force the fallback fence protocol so the run
     // covers the no-membarrier path. Must happen before any Rcu is built.
@@ -98,6 +102,7 @@ fn main() {
                 .or(base.duration),
             reclaim: parse_opt(&args, "--reclaim").map(Some).unwrap_or(base.reclaim),
             garbage_bound: parse_opt(&args, "--garbage-bound").unwrap_or(base.garbage_bound),
+            doctor: doctor_smoke || base.doctor,
             ..base
         };
         for &seed in &seeds {

@@ -1,0 +1,41 @@
+//! Offline reclamation doctor: renders the diagnosis from a dumped
+//! telemetry snapshot, no live process required.
+//!
+//! ```text
+//! # From a raw snapshot dump (trace_dump writes <prefix>.snapshot.json):
+//! cargo run --release -p pbs-workloads --bin doctor -- <snapshot.json>
+//!
+//! # The /snapshot response of a live endpoint works too:
+//! curl -s http://127.0.0.1:PORT/snapshot > snap.json && doctor snap.json
+//! ```
+//!
+//! Accepts either a bare [`TelemetrySnapshot`] or the `/snapshot`
+//! endpoint's `{telemetry, doctor}` wrapper.
+
+use pbs_alloc_api::TelemetrySnapshot;
+use pbs_workloads::doctor::{render_doctor, SnapshotResponse};
+
+fn load(path: &str) -> Result<TelemetrySnapshot, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if let Ok(wrapped) = serde_json::from_str::<SnapshotResponse>(&text) {
+        return Ok(wrapped.telemetry);
+    }
+    serde_json::from_str::<TelemetrySnapshot>(&text)
+        .map_err(|e| format!("{path} is neither a TelemetrySnapshot nor a /snapshot response: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: doctor <snapshot.json>");
+        std::process::exit(2);
+    };
+    match load(path) {
+        Ok(snap) => print!("{}", render_doctor(&snap)),
+        Err(msg) => {
+            eprintln!("doctor: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use pbs_alloc_api::TelemetrySnapshot;
 use pbs_rcu::RcuConfig;
 use pbs_workloads::telemetry_export::{
-    validate_chrome_trace, validate_prometheus, write_telemetry,
+    validate_chrome_trace, validate_prometheus, write_snapshot_json, write_telemetry,
 };
 use pbs_workloads::{AllocatorKind, Testbed};
 
@@ -48,8 +48,15 @@ fn exercise(kind: AllocatorKind) -> TelemetrySnapshot {
 }
 
 fn validate(prefix: &Path) -> Result<(), String> {
-    let prom_path = prefix.with_extension("prom");
-    let trace_path = prefix.with_extension("trace.json");
+    // Append the suffixes exactly as `write_telemetry` does;
+    // `Path::with_extension` would *replace* a trailing `.segment` of the
+    // prefix and validate files the dump never wrote.
+    let mut prom_path = prefix.as_os_str().to_owned();
+    prom_path.push(".prom");
+    let prom_path = PathBuf::from(prom_path);
+    let mut trace_path = prefix.as_os_str().to_owned();
+    trace_path.push(".trace.json");
+    let trace_path = PathBuf::from(trace_path);
     let prom = std::fs::read_to_string(&prom_path)
         .map_err(|e| format!("read {}: {e}", prom_path.display()))?;
     validate_prometheus(&prom).map_err(|e| format!("{}: {e}", prom_path.display()))?;
@@ -64,10 +71,17 @@ fn validate(prefix: &Path) -> Result<(), String> {
 fn dump(prefix: &Path) -> Result<(), String> {
     let mut snap = exercise(AllocatorKind::Slub);
     snap.merge(&exercise(AllocatorKind::Prudence));
+    // Site attribution is process-global and each capture is cumulative,
+    // so merging two same-process captures double-counts; the final
+    // report alone is the truth.
+    snap.sites = pbs_telemetry::site::report();
     let (prom, trace) =
         write_telemetry(prefix, &snap).map_err(|e| format!("write {}: {e}", prefix.display()))?;
+    let snapshot = write_snapshot_json(prefix, &snap)
+        .map_err(|e| format!("write {}: {e}", prefix.display()))?;
     println!("wrote {}", prom.display());
     println!("wrote {} (load it in chrome://tracing)", trace.display());
+    println!("wrote {} (render it with the doctor bin)", snapshot.display());
     println!(
         "captured {} trace events across {} caches + the RCU domain",
         snap.total_events(),

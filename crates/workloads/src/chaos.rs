@@ -140,6 +140,10 @@ pub struct ChaosParams {
     /// documented bug the robust backends exist to bound, and the probe
     /// fails the run if either side of the contrast goes missing.
     pub garbage_bound: usize,
+    /// Start a live doctor endpoint for the run and smoke-test it
+    /// mid-run: `/metrics` must validate and, for stalled-reader runs,
+    /// `/doctor` must name the staller thread while it is pinned.
+    pub doctor: bool,
 }
 
 impl Default for ChaosParams {
@@ -156,6 +160,7 @@ impl Default for ChaosParams {
             duration: None,
             reclaim: None,
             garbage_bound: 256,
+            doctor: false,
         }
     }
 }
@@ -256,6 +261,10 @@ pub struct ChaosReport {
     pub stalled_garbage_observed: Option<usize>,
     /// The bound the probe held the robust backends to.
     pub stalled_garbage_bound: usize,
+    /// Stall-blame records captured during the run: who wedged
+    /// reclamation, for how long. Stalled-reader runs must contain at
+    /// least one record naming the dedicated staller thread.
+    pub blame: Vec<pbs_rcu::BlameReport>,
     /// The shared reclamation domain's backend counters at the end of the
     /// run (scans, seals, captures, ejections, injected refusals).
     pub reclaim: ReclaimStats,
@@ -382,7 +391,9 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         }
     }
 
-    let bed = Testbed::new_tuned(
+    // Arc-wrapped so the doctor endpoint's provider closure can snapshot
+    // the bed from its own thread while the run is live.
+    let bed = Arc::new(Testbed::new_tuned(
         kind,
         params.threads,
         rcu_config,
@@ -391,7 +402,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         slub_tuning,
         prudence_config,
         Some((backend, reclaim_config)),
-    );
+    ));
     let node_cache = bed.create_cache("chaos_node", 64);
     let obj_cache = bed.create_cache("chaos_obj", 128);
     // Large-object cache only the storm's burst arm touches: 32-object
@@ -411,6 +422,18 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
 
     let stop_staller = Arc::new(AtomicBool::new(false));
     let mut fastpath_flips = 0u64;
+    let doctor_server = if params.doctor {
+        let provider_bed = Arc::clone(&bed);
+        match crate::doctor::DoctorServer::start(move || provider_bed.telemetry()) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                violations.push(format!("doctor endpoint failed to start: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
     std::thread::scope(|s| {
         // Fast-path flapper: cycles every cache through
         // disable(+drain) → enable → portable engine → default engine
@@ -455,16 +478,66 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         let staller = {
             let rcu = Arc::clone(bed.rcu());
             let stop = Arc::clone(&stop_staller);
-            s.spawn(move || {
-                let reader = rcu.register();
-                while !stop.load(Ordering::Relaxed) {
-                    let guard = reader.read_lock();
-                    std::thread::sleep(staller_hold);
-                    drop(guard);
-                    std::thread::yield_now();
-                }
-            })
+            // Named so the watchdog's blame report (which captures the
+            // registering thread's name) can identify the culprit.
+            std::thread::Builder::new()
+                .name("chaos-staller".to_owned())
+                .spawn_scoped(s, move || {
+                    let reader = rcu.register();
+                    while !stop.load(Ordering::Relaxed) {
+                        let guard = reader.read_lock();
+                        std::thread::sleep(staller_hold);
+                        drop(guard);
+                        std::thread::yield_now();
+                    }
+                })
+                .expect("spawn chaos-staller")
         };
+        // Doctor smoke: scrape the live endpoint mid-run. `/metrics` must
+        // validate against the schema; for stalled-reader runs `/doctor`
+        // must name the pinned staller thread while the stall is live.
+        let smoke = doctor_server.as_ref().map(|server| {
+            let addr = server.addr();
+            let scenario = params.scenario;
+            s.spawn(move || {
+                let mut problems: Vec<String> = Vec::new();
+                let mut named = scenario != ChaosScenario::StalledReader;
+                let mut last_err = None;
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    match crate::doctor::http_get(addr, "/doctor") {
+                        Ok(body) => {
+                            last_err = None;
+                            if body.contains("chaos-staller") {
+                                named = true;
+                            }
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                    if named {
+                        break;
+                    }
+                }
+                if let Some(e) = last_err {
+                    problems.push(format!("doctor smoke: GET /doctor failed: {e}"));
+                } else if !named {
+                    problems.push(
+                        "doctor smoke: /doctor never named chaos-staller during the stall"
+                            .to_owned(),
+                    );
+                }
+                match crate::doctor::http_get(addr, "/metrics") {
+                    Ok(body) => {
+                        if let Err(e) = crate::telemetry_export::validate_prometheus(&body) {
+                            problems
+                                .push(format!("doctor smoke: /metrics failed validation: {e}"));
+                        }
+                    }
+                    Err(e) => problems.push(format!("doctor smoke: GET /metrics failed: {e}")),
+                }
+                problems
+            })
+        });
 
         let workers: Vec<_> = (0..params.threads)
             .map(|tid| {
@@ -649,6 +722,12 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                 Err(_) => panics += 1,
             }
         }
+        if let Some(smoke) = smoke {
+            match smoke.join() {
+                Ok(problems) => violations.extend(problems),
+                Err(_) => panics += 1,
+            }
+        }
     });
 
     // Stalled-garbage probe (stalled-reader scenario only): allocate a
@@ -770,6 +849,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     // and seals consult `reclaim.advance` — so both sides are summed.
     let rcu_stats = bed.rcu().stats();
     let reclaim_stats = bed.reclaim_stats();
+    let blame = bed.rcu().blame_reports();
     let injected_oom = faults.injected(grow_site);
     // The epoch domain *mirrors* the RCU stall counter into its
     // `injected_stalls`, so adding the two would double-count; only the
@@ -823,6 +903,21 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         ChaosScenario::StalledReader => {
             if rcu_stats.stall_warnings == 0 {
                 violations.push("stalled-reader: watchdog never warned".into());
+            }
+            // The blame subsystem must have identified the parked reader:
+            // at least one record naming the staller thread, with a
+            // nonzero measured pin duration.
+            match blame
+                .iter()
+                .filter(|b| b.thread_name == "chaos-staller")
+                .max_by_key(|b| b.stalled_for_ns)
+            {
+                None => violations
+                    .push("stalled-reader: no blame record names chaos-staller".into()),
+                Some(b) if b.stalled_for_ns == 0 => violations.push(
+                    "stalled-reader: chaos-staller blamed with zero pin duration".into(),
+                ),
+                Some(_) => {}
             }
         }
         ChaosScenario::OomStorm => {
@@ -901,6 +996,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         fastpath_flips,
         stalled_garbage_observed,
         stalled_garbage_bound: params.garbage_bound,
+        blame,
         reclaim: reclaim_stats,
         violations,
     }
@@ -1052,6 +1148,36 @@ mod tests {
                     assert!(observed <= report.stalled_garbage_bound, "{}", report.render());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn stalled_reader_doctor_smoke_names_the_staller() {
+        // The live endpoint must be scrapeable mid-run and its diagnosis
+        // must identify the parked reader by thread name; the final
+        // report carries the blame records for offline inspection.
+        let params = ChaosParams {
+            threads: 2,
+            seed: 19,
+            doctor: true,
+            duration: Some(Duration::from_millis(120)),
+            ..ChaosParams::for_scenario(ChaosScenario::StalledReader)
+        };
+        for kind in AllocatorKind::BOTH {
+            let report = run_chaos(kind, &params);
+            assert!(
+                report.passed(),
+                "{}\nviolations: {:?}\nreplay: {}",
+                report.render(),
+                report.violations,
+                report.replay_command()
+            );
+            let culprit = report
+                .blame
+                .iter()
+                .find(|b| b.thread_name == "chaos-staller")
+                .expect("blame names the staller");
+            assert!(culprit.stalled_for_ns > 0);
         }
     }
 

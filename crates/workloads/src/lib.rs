@@ -20,6 +20,7 @@
 pub mod alloc_cost;
 pub mod apps;
 pub mod chaos;
+pub mod doctor;
 pub mod endurance;
 pub mod figures;
 pub mod microbench;

@@ -50,6 +50,7 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
         r.injected_gp_stalls,
     );
     counter(&mut out, "pbs_rcu_stall_warnings_total", "", r.stall_warnings);
+    counter(&mut out, "pbs_rcu_stall_blames_total", "", r.stall_blames);
     counter(&mut out, "pbs_rcu_expedited_gps_total", "", r.expedited_gps);
     gauge(&mut out, "pbs_rcu_active_stalls", "", r.active_stalls);
     gauge(&mut out, "pbs_rcu_longest_stall_ns", "", r.longest_stall_ns);
@@ -76,6 +77,9 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
         histogram(&mut out, &format!("pbs_rcu_{}", h.name), "", &h.hist);
     }
     ring_series(&mut out, "rcu", &snap.rcu_telemetry);
+    reclaim_series(&mut out, snap);
+    blame_series(&mut out, snap);
+    site_series(&mut out, snap);
     for cache in &snap.caches {
         let labels = format!("cache=\"{}\"", cache.name);
         let s = &cache.stats;
@@ -173,6 +177,84 @@ fn histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) 
     write_sample(out, &format!("{name}_count"), labels, h.count);
 }
 
+/// Reclamation-backend counters. All series render under every backend
+/// (zero-valued where the mechanism is not in play) so dashboards and the
+/// validator see a stable schema across `PBS_RECLAIM` legs.
+fn reclaim_series(out: &mut String, snap: &TelemetrySnapshot) {
+    let rc = &snap.reclaim;
+    let backend = if rc.backend.is_empty() {
+        "none"
+    } else {
+        rc.backend.as_str()
+    };
+    let labels = format!("backend=\"{backend}\"");
+    counter(out, "pbs_reclaim_hp_scans_total", &labels, rc.scans);
+    counter(out, "pbs_reclaim_batch_seals_total", &labels, rc.batches_sealed);
+    counter(out, "pbs_reclaim_reader_ejects_total", &labels, rc.ejections);
+    counter(out, "pbs_reclaim_scan_reclaimed_total", &labels, rc.scan_reclaimed);
+    counter(out, "pbs_reclaim_scan_protected_total", &labels, rc.scan_protected);
+    counter(
+        out,
+        "pbs_reclaim_batch_refs_captured_total",
+        &labels,
+        rc.batch_refs_captured,
+    );
+    gauge(
+        out,
+        "pbs_reclaim_deferred_in_domain",
+        &labels,
+        rc.deferred_in_domain as u64,
+    );
+}
+
+/// Stall-blame series: one gauge per live culprit (thread-labelled) plus
+/// the open-episode count.
+fn blame_series(out: &mut String, snap: &TelemetrySnapshot) {
+    let open = snap.blame.iter().filter(|b| !b.cleared).count();
+    gauge(out, "pbs_rcu_blame_open_episodes", "", open as u64);
+    for b in snap.blame.iter().filter(|b| !b.cleared) {
+        gauge(
+            out,
+            "pbs_rcu_blame_stalled_for_ns",
+            &format!("thread=\"{}\",record=\"{}\"", b.thread_name, b.record_id),
+            b.stalled_for_ns,
+        );
+    }
+}
+
+/// Per-site attribution series plus garbage-age histograms and gauges.
+fn site_series(out: &mut String, snap: &TelemetrySnapshot) {
+    let sites = &snap.sites;
+    gauge(out, "pbs_sites_outstanding_total", "", sites.outstanding_total);
+    gauge(
+        out,
+        "pbs_sites_oldest_outstanding_ns",
+        "",
+        sites.oldest_outstanding_ns,
+    );
+    counter(out, "pbs_sites_dropped_total", "", sites.dropped_sites);
+    counter(out, "pbs_sites_lost_stamps_total", "", sites.lost_stamps);
+    for s in &sites.sites {
+        let labels = format!("site=\"{}\"", s.label);
+        counter(out, "pbs_site_deferred_total", &labels, s.deferred);
+        counter(out, "pbs_site_reclaimed_total", &labels, s.reclaimed);
+        gauge(out, "pbs_site_outstanding", &labels, s.outstanding);
+        gauge(out, "pbs_site_outstanding_bytes", &labels, s.outstanding_bytes);
+    }
+    for h in &sites.age {
+        let backend = h
+            .name
+            .strip_prefix("garbage_age_ns_")
+            .unwrap_or(h.name.as_str());
+        histogram(
+            out,
+            "pbs_garbage_age_ns",
+            &format!("backend=\"{backend}\""),
+            &h.hist,
+        );
+    }
+}
+
 /// Event-kind counts and ring accounting for one component.
 fn ring_series(out: &mut String, component: &str, t: &ComponentTelemetry) {
     for (kind, count) in &t.event_counts {
@@ -236,7 +318,7 @@ fn push_component_events(
 
 /// Series every healthy run must expose; [`validate_prometheus`] fails
 /// when any is absent.
-pub const REQUIRED_PROM_SERIES: [&str; 12] = [
+pub const REQUIRED_PROM_SERIES: [&str; 15] = [
     "pbs_rcu_gp_advances_total",
     "pbs_rcu_membarrier_advances_total",
     "pbs_rcu_fallback_fence_advances_total",
@@ -249,6 +331,9 @@ pub const REQUIRED_PROM_SERIES: [&str; 12] = [
     "pbs_cache_fastpath_hits_total",
     "pbs_cache_fastpath_fallbacks_total",
     "pbs_events_total",
+    "pbs_reclaim_hp_scans_total",
+    "pbs_reclaim_batch_seals_total",
+    "pbs_reclaim_reader_ejects_total",
 ];
 
 /// Validates Prometheus exposition text: every non-comment line must be
@@ -360,6 +445,31 @@ pub fn write_telemetry(
     std::fs::write(&prom_path, to_prometheus(snap))?;
     std::fs::write(&trace_path, to_chrome_trace(snap))?;
     Ok((prom_path, trace_path))
+}
+
+/// Writes the raw snapshot as `<prefix>.snapshot.json` (same append
+/// semantics as [`write_telemetry`]) and returns the path. The file is
+/// what the offline `doctor` bin renders.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn write_snapshot_json(
+    prefix: &Path,
+    snap: &TelemetrySnapshot,
+) -> std::io::Result<PathBuf> {
+    if let Some(parent) = prefix.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut path = prefix.as_os_str().to_owned();
+    path.push(".snapshot.json");
+    let path = PathBuf::from(path);
+    let json = serde_json::to_string(snap)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
 }
 
 /// Parses the `--telemetry <prefix>` flag shared by the workload bins:
@@ -488,7 +598,10 @@ mod tests {
              pbs_cache_oom_recoveries_total{{cache=\"t\",stage=\"1\"}} 0\n\
              pbs_cache_fastpath_hits_total{{cache=\"t\"}} 0\n\
              pbs_cache_fastpath_fallbacks_total{{cache=\"t\"}} 0\n\
-             pbs_events_total{{component=\"rcu\",kind=\"gp_begin\"}} 0\n"
+             pbs_events_total{{component=\"rcu\",kind=\"gp_begin\"}} 0\n\
+             pbs_reclaim_hp_scans_total{{backend=\"epoch\"}} 0\n\
+             pbs_reclaim_batch_seals_total{{backend=\"epoch\"}} 0\n\
+             pbs_reclaim_reader_ejects_total{{backend=\"epoch\"}} 0\n"
         ))
         .unwrap();
     }

@@ -228,6 +228,9 @@ impl Testbed {
                 snap.push_cache(cache.as_ref());
             }
         }
+        snap.reclaim = self.domain.reclaim_stats();
+        snap.blame = self.rcu.blame_reports();
+        snap.sites = pbs_telemetry::site::report();
         snap
     }
 }

@@ -1,0 +1,148 @@
+//! Per-site attribution balance under mixed op sequences.
+//!
+//! The site registry is process-global, so this suite lives in its own
+//! test binary: no other test's deferred frees can leak into the
+//! ledger it audits. One test drives both allocators through
+//! stress-style alloc/free/free_deferred interleavings from two
+//! distinct call sites, quiesces, and asserts the attribution ledger
+//! balances: every stamped defer was credited back, per site, in
+//! objects and in bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pbs_rcu::RcuConfig;
+use pbs_workloads::{AllocatorKind, Testbed};
+
+const OBJ_SIZE: usize = 96;
+
+/// Polls the global site report until every site tagged with this file
+/// has `outstanding == 0`, nudging grace periods and cache drains in
+/// between — hp/hyaline credit on their own scan/seal cadence, not at a
+/// fixed point like the epoch backend.
+fn drain_until_balanced(bed: &Testbed, cache: &dyn pbs_alloc_api::ObjectAllocator) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        bed.rcu().synchronize();
+        cache.quiesce();
+        let report = pbs_telemetry::site::report();
+        let unbalanced = report
+            .sites
+            .iter()
+            .filter(|s| s.label.contains("attribution.rs"))
+            .any(|s| s.outstanding != 0);
+        if !unbalanced {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sites never balanced: {:#?}",
+            report.sites
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn per_site_counters_balance_after_mixed_op_sequences() {
+    // Ops routed through the "even" and "odd" call sites below, across
+    // both allocators; the final ledger must match these exactly.
+    let site_a_ops = Arc::new(AtomicU64::new(0));
+    let site_b_ops = Arc::new(AtomicU64::new(0));
+
+    for kind in AllocatorKind::BOTH {
+        let threads = 4;
+        let bed = Testbed::new(kind, threads, RcuConfig::eager(), None);
+        let cache = bed.create_cache("attribution", OBJ_SIZE);
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let site_a_ops = Arc::clone(&site_a_ops);
+                let site_b_ops = Arc::clone(&site_b_ops);
+                std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..3_000 {
+                        held.push(cache.allocate().expect("attribution allocation"));
+                        match (i + t) % 4 {
+                            // Immediate frees never enter the ledger.
+                            0 if held.len() > 16 => {
+                                let o = held.swap_remove(0);
+                                unsafe { cache.free(o) };
+                            }
+                            // Two textually distinct defer sites so the
+                            // report must keep separate rows for them.
+                            1 if held.len() > 16 => {
+                                let o = held.swap_remove(0);
+                                unsafe { cache.free_deferred(o) };
+                                site_a_ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                            2 if held.len() > 16 => {
+                                let o = held.swap_remove(0);
+                                unsafe { cache.free_deferred(o) };
+                                site_b_ops.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        let mut survivors = Vec::new();
+        for w in workers {
+            survivors.extend(w.join().expect("attribution worker panicked"));
+        }
+        // Drain survivors through site B as one last burst.
+        let burst = survivors.len() as u64;
+        for o in survivors {
+            unsafe { cache.free_deferred(o) };
+        }
+        site_b_ops.fetch_add(burst, Ordering::Relaxed);
+
+        drain_until_balanced(&bed, &*cache);
+    }
+
+    let report = pbs_telemetry::site::report();
+    let ours: Vec<_> = report
+        .sites
+        .iter()
+        .filter(|s| s.label.contains("attribution.rs"))
+        .collect();
+    assert!(
+        ours.len() >= 2,
+        "expected at least the two defer sites in this file, got {ours:#?}"
+    );
+    let mut deferred_total = 0;
+    for site in &ours {
+        assert_eq!(
+            site.deferred, site.reclaimed,
+            "site {} leaked garbage: {site:#?}",
+            site.label
+        );
+        assert_eq!(site.outstanding, 0, "site {}: {site:#?}", site.label);
+        assert_eq!(
+            site.deferred_bytes,
+            site.deferred * OBJ_SIZE as u64,
+            "site {} byte accounting off: {site:#?}",
+            site.label
+        );
+        assert_eq!(
+            site.reclaimed_bytes, site.deferred_bytes,
+            "site {}: {site:#?}",
+            site.label
+        );
+        deferred_total += site.deferred;
+    }
+    assert_eq!(
+        deferred_total,
+        site_a_ops.load(Ordering::Relaxed) + site_b_ops.load(Ordering::Relaxed),
+        "ledger total diverges from ops actually issued: {ours:#?}"
+    );
+    // Nothing from this binary may still be stamped outstanding.
+    assert_eq!(
+        report.outstanding_total, 0,
+        "stamp table not empty after quiesce: {report:#?}"
+    );
+    assert_eq!(report.lost_stamps, 0, "stamps were overwritten: {report:#?}");
+}
