@@ -3,7 +3,9 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{compiler_fence, fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    compiler_fence, fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -16,6 +18,7 @@ use crate::blame::{BlameReport, BlameState};
 use crate::callback::{reclaimer_loop, Callback, CallbackShard, RcuConfig};
 use crate::epoch::{GpState, ThreadRecord, HP_SLOTS};
 use crate::membarrier;
+use crate::reclaim::ReclaimBackend;
 use crate::stats::{RcuStats, StatsInner};
 
 /// Lanes in the domain trace ring. Grace-period events are emitted by
@@ -49,6 +52,21 @@ pub(crate) struct Inner {
     /// Stall-blame store: written by the watchdog (driver thread), read by
     /// snapshots. See [`crate::blame`].
     pub(crate) blame: Mutex<BlameState>,
+    /// Bitmask of [`ReclaimBackend`]s whose reclamation domains watch this
+    /// registry (set at domain construction, never cleared). A guard taken
+    /// on this `Rcu` genuinely participates in a backend's protocol — its
+    /// hazard slots are scanned, its pins are batch-captured — only when
+    /// the corresponding bit is set; see [`ReadGuard::protects_backend`].
+    pub(crate) attached_backends: AtomicU32,
+}
+
+/// Bit assigned to `backend` in [`Inner::attached_backends`].
+fn backend_bit(backend: ReclaimBackend) -> u32 {
+    match backend {
+        ReclaimBackend::Epoch => 1 << 0,
+        ReclaimBackend::Hp => 1 << 1,
+        ReclaimBackend::Hyaline => 1 << 2,
+    }
 }
 
 impl Inner {
@@ -476,6 +494,7 @@ impl Rcu {
             stats: StatsInner::default(),
             ring: EventRing::new(TRACE_LANES, TRACE_LANE_CAPACITY),
             blame: Mutex::new(BlameState::default()),
+            attached_backends: AtomicU32::new(0),
         });
         let mut workers = Vec::new();
         // Grace-period driver: periodically attempts epoch advance so grace
@@ -536,6 +555,8 @@ impl Rcu {
             inner: Arc::clone(&self.inner),
             record,
             nesting: Cell::new(0),
+            tainted: Cell::new(false),
+            walk_depth: Cell::new(0),
             _not_send: PhantomData,
         }
     }
@@ -690,6 +711,16 @@ impl Rcu {
     pub(crate) fn inner(&self) -> &Arc<Inner> {
         &self.inner
     }
+
+    /// Crate-internal: records that a reclamation domain of `backend` now
+    /// watches this registry. Called once per domain construction; the
+    /// bit is never cleared (a domain that existed may have handed out
+    /// retired objects whose protection discipline outlives it).
+    pub(crate) fn attach_backend(&self, backend: ReclaimBackend) {
+        self.inner
+            .attached_backends
+            .fetch_or(backend_bit(backend), Ordering::Relaxed);
+    }
 }
 
 impl Drop for Rcu {
@@ -752,6 +783,17 @@ pub struct RcuThread {
     inner: Arc<Inner>,
     record: Arc<CachePadded<ThreadRecord>>,
     nesting: Cell<u32>,
+    /// Set when a traversal re-pinned this thread after an ejection
+    /// ([`ReadGuard::repin`]): raw pointers read earlier in the critical
+    /// section are no longer protected, so [`ReadGuard::validate`] stays
+    /// `false` until a fresh outermost `read_lock`. Values *returned* by
+    /// a completed [`ReadGuard::walk`] were checkpointed before the
+    /// re-pin and remain trustworthy.
+    pub(crate) tainted: Cell<bool>,
+    /// Nesting depth of hazard-publishing traversals currently live on
+    /// this thread; each depth owns a disjoint block of hazard slots
+    /// (see `crate::traverse`).
+    pub(crate) walk_depth: Cell<usize>,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -772,6 +814,9 @@ impl RcuThread {
     pub fn read_lock(&self) -> ReadGuard<'_> {
         let n = self.nesting.get();
         if n == 0 {
+            // A fresh outermost critical section starts untainted: no
+            // pointer read under a *previous* pin can leak into it.
+            self.tainted.set(false);
             let epoch = self.inner.epoch.load(Ordering::Acquire);
             // The sequence bump must precede the pin store in program
             // order: a batch-domain scanner that observes the pin
@@ -919,10 +964,15 @@ pub struct ReadGuard<'a> {
     thread: &'a RcuThread,
 }
 
-impl ReadGuard<'_> {
+impl<'a> ReadGuard<'a> {
     /// The domain this critical section belongs to; see [`Rcu::id`].
     pub fn domain_id(&self) -> u64 {
         self.thread.inner.id
+    }
+
+    /// Crate-internal: the thread this guard pins (traversal machinery).
+    pub(crate) fn thread(&self) -> &'a RcuThread {
+        self.thread
     }
 
     /// Whether this critical section is still honored by every
@@ -939,9 +989,63 @@ impl ReadGuard<'_> {
     /// resumed after one) and restart from safe roots when it returns
     /// `false`. This mirrors DEBRA+'s neutralization recovery path with
     /// a poll in place of a signal.
+    ///
+    /// A guard whose thread was re-pinned by a traversal recovering from
+    /// an ejection ([`walk`](Self::walk)) also reports `false` — sticky
+    /// until the next outermost `read_lock` — because raw pointers read
+    /// before the recovery are just as unprotected as under the ejection
+    /// itself. Values *returned* by a completed `walk` are exempt: they
+    /// were checkpointed before being handed out.
     pub fn validate(&self) -> bool {
         let record = self.thread.record();
-        !record.ejected_at(record.own_pin_seq())
+        !self.thread.tainted.get() && !record.ejected_at(record.own_pin_seq())
+    }
+
+    /// Whether this guard actually participates in `backend`'s reader
+    /// protocol: the [`Rcu`] it pins is watched by a reclamation domain
+    /// of that backend (its hazard slots are scanned, its pins are
+    /// batch-captured).
+    ///
+    /// Epoch protection needs no domain cooperation — any pin on the
+    /// right registry blocks the epoch — so `Epoch` is always `true`.
+    /// Data structures whose allocator defers into a robust backend call
+    /// this from their guard checks: a guard from a matching `Rcu` that
+    /// no hp/hyaline domain watches would pass a plain domain-id check
+    /// while protecting nothing.
+    pub fn protects_backend(&self, backend: ReclaimBackend) -> bool {
+        backend == ReclaimBackend::Epoch
+            || self
+                .thread
+                .inner
+                .attached_backends
+                .load(Ordering::Relaxed)
+                & backend_bit(backend)
+                != 0
+    }
+
+    /// Crate-internal ejection recovery: drop the current pin and take a
+    /// fresh one (new pin sequence, current epoch), so a traversal can
+    /// retry from its root with live protection. Marks the thread
+    /// [`tainted`](RcuThread::tainted) — everything read under the old
+    /// pin is now suspect — and uses the same publication-fence
+    /// discipline as [`RcuThread::read_lock`].
+    ///
+    /// Between the unpin and the re-pin the thread is momentarily
+    /// outside any critical section, which is exactly what lets the
+    /// backend release the batches the ejected pin was blocking.
+    /// Hazard slots are untouched: hp protection is per-address and
+    /// survives the re-pin.
+    pub(crate) fn repin(&self) {
+        self.thread.tainted.set(true);
+        self.thread.record.unpin();
+        let epoch = self.thread.inner.epoch.load(Ordering::Acquire);
+        self.thread.record.begin_pin_seq();
+        self.thread.record.pin(epoch);
+        if membarrier::readers_elide_fence() {
+            compiler_fence(Ordering::SeqCst);
+        } else {
+            fence(Ordering::SeqCst);
+        }
     }
 }
 

@@ -55,6 +55,7 @@ mod epoch;
 mod membarrier;
 pub mod reclaim;
 mod stats;
+mod traverse;
 
 pub use blame::BlameReport;
 pub use callback::RcuConfig;
@@ -62,6 +63,10 @@ pub use domain::{ReadGuard, Rcu, RcuThread};
 pub use epoch::GpState;
 pub use epoch::HP_SLOTS;
 pub use stats::RcuStats;
+pub use traverse::{
+    poison_link, Retry, Traverse, TraversalKind, LINK_POISON, MAX_WALK_DEPTH,
+    MAX_WALK_RETRIES, WALK_SLOTS,
+};
 
 /// Forces every domain in this process onto the portable fallback barrier
 /// protocol (readers fence themselves; no `membarrier(2)` dependence), as

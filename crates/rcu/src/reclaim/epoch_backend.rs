@@ -27,6 +27,10 @@ pub struct EpochDomain {
 impl EpochDomain {
     /// Wraps `rcu` as a [`ReclamationDomain`].
     pub fn new(rcu: Arc<Rcu>) -> Self {
+        // Symmetric with the robust backends; epoch protection needs no
+        // domain cooperation, so `protects_backend(Epoch)` is true for
+        // every guard regardless of this mark.
+        rcu.attach_backend(ReclaimBackend::Epoch);
         Self {
             rcu,
             clients: Mutex::new(Vec::new()),

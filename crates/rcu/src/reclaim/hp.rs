@@ -75,6 +75,10 @@ pub struct HpDomain {
 impl HpDomain {
     /// A hazard-pointer domain over `rcu`'s reader registry.
     pub fn new(rcu: Arc<Rcu>, config: ReclaimConfig) -> Self {
+        // Guards on this registry now speak the hp protocol (their
+        // hazard slots gate this domain's scans); data-structure guard
+        // checks consult the mark via `ReadGuard::protects_backend`.
+        rcu.attach_backend(ReclaimBackend::Hp);
         Self {
             rcu,
             config,

@@ -103,6 +103,9 @@ struct SealedState {
 impl HyalineDomain {
     /// A Hyaline-style domain over `rcu`'s reader registry.
     pub fn new(rcu: Arc<Rcu>, config: ReclaimConfig) -> Self {
+        // Pins on this registry are now batch-captured (and ejectable)
+        // by this domain; `ReadGuard::protects_backend` reports it.
+        rcu.attach_backend(ReclaimBackend::Hyaline);
         Self {
             rcu,
             config,

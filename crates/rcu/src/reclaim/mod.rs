@@ -33,8 +33,20 @@
 //!   is revoked and it must re-validate ([`ReadGuard::validate`]) before
 //!   trusting earlier reads.
 //!
+//! Pointer-chasing readers don't implement these contracts by hand:
+//! [`ReadGuard::walk`] (see [`crate::traverse`]) dispatches on a
+//! [`TraversalKind`] derived from the backend and performs the per-hop
+//! protection — plain loads under `epoch`, hazard publish + revalidate
+//! under `hp`, per-hop ejection checks with retry-from-root under
+//! `hyaline`. Structures that retire nodes under a robust backend must
+//! poison the retired node's outgoing links
+//! ([`crate::traverse::poison_link`]) so a walker parked on a retired
+//! node cannot follow a stale pointer past a second, invisible unlink.
+//!
 //! [`RcuThread::protect`]: crate::RcuThread::protect
 //! [`ReadGuard::validate`]: crate::ReadGuard::validate
+//! [`ReadGuard::walk`]: crate::ReadGuard::walk
+//! [`TraversalKind`]: crate::TraversalKind
 
 use std::fmt;
 use std::str::FromStr;

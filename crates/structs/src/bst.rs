@@ -20,7 +20,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pbs_alloc_api::{AllocError, ObjPtr, ObjectAllocator};
-use pbs_rcu::ReadGuard;
+use pbs_rcu::reclaim::ReclaimBackend;
+use pbs_rcu::{ReadGuard, TraversalKind};
 
 #[repr(C)]
 struct Node<T> {
@@ -66,6 +67,10 @@ pub struct RcuBst<T> {
     /// the multiple-deferrals-per-update claim).
     deferred_versions: AtomicU64,
     domain_id: u64,
+    /// The reclamation backend node frees defer into; selects the
+    /// per-hop protection of read-side walks (see `check_guard`).
+    backend: ReclaimBackend,
+    kind: TraversalKind,
     _marker: PhantomData<T>,
 }
 
@@ -101,6 +106,10 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
             "allocator objects are 8-byte aligned; node needs more"
         );
         let domain_id = alloc.rcu().id();
+        let backend = alloc
+            .reclaim_domain()
+            .map(|d| d.backend())
+            .unwrap_or(ReclaimBackend::Epoch);
         Self {
             root: AtomicPtr::new(ptr::null_mut()),
             alloc,
@@ -108,6 +117,8 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
             len: AtomicUsize::new(0),
             deferred_versions: AtomicU64::new(0),
             domain_id,
+            backend,
+            kind: TraversalKind::from(backend),
             _marker: PhantomData,
         }
     }
@@ -117,6 +128,13 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
             guard.domain_id(),
             self.domain_id,
             "read guard belongs to a different RCU domain than this tree's allocator"
+        );
+        // See `RcuList::check_guard`: the guard must also participate in
+        // the backend that reclaims the nodes, or it protects nothing.
+        assert!(
+            guard.protects_backend(self.backend),
+            "read guard's RCU domain is not watched by this tree's `{}` reclamation backend",
+            self.backend.label()
         );
     }
 
@@ -145,8 +163,18 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
     fn defer_node(&self, node: *mut Node<T>) {
         self.deferred_versions.fetch_add(1, Ordering::Relaxed);
         // SAFETY: node is unlinked from the tree (only pre-existing
-        // readers can still see it) and deferred exactly once.
+        // readers can still see it) and deferred exactly once. Under a
+        // robust backend both child links are poisoned before the defer:
+        // a traversal parked on the retired node restarts from the root
+        // (see `RcuList::retire`) instead of descending through links
+        // whose targets can be reclaimed without this node changing.
+        // Callers must finish reading the node's children *before*
+        // deferring it — all do, since the copies adopt them.
         unsafe {
+            if self.backend != ReclaimBackend::Epoch {
+                pbs_rcu::poison_link(&(*node).left);
+                pbs_rcu::poison_link(&(*node).right);
+            }
             self.alloc
                 .free_deferred(ObjPtr::new(ptr::NonNull::new_unchecked(node.cast())));
         }
@@ -170,42 +198,122 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
 
     /// Looks up `key` under an RCU read guard.
     ///
+    /// The descent runs as a backend-aware protected traversal: plain
+    /// `Acquire` loads under epoch, hazard-published hand-over-hand hops
+    /// under hp, and per-hop ejection checkpoints (with retry-from-root)
+    /// under hyaline.
+    ///
     /// # Panics
     ///
-    /// Panics if `guard` belongs to a different RCU domain.
+    /// Panics if `guard` belongs to a different RCU domain or one whose
+    /// reclamation backend does not watch this tree's domain.
     pub fn lookup(&self, guard: &ReadGuard<'_>, key: u64) -> Option<T> {
         self.check_guard(guard);
-        let mut cur = self.root.load(Ordering::Acquire);
-        while !cur.is_null() {
-            // SAFETY: reachable nodes are protected by the guard.
-            let node = unsafe { &*cur };
-            match key.cmp(&node.key) {
-                std::cmp::Ordering::Equal => return Some(node.value),
-                std::cmp::Ordering::Less => cur = node.left.load(Ordering::Acquire),
-                std::cmp::Ordering::Greater => cur = node.right.load(Ordering::Acquire),
+        guard.walk(self.kind, |t| {
+            let mut cur = t.load(&self.root)?;
+            while !cur.is_null() {
+                // SAFETY: `t.load` only returns pointers it protects for
+                // this hop: reachable under epoch, hazard-revalidated
+                // under hp, captured-and-not-ejected under hyaline.
+                let node = unsafe { &*cur };
+                match key.cmp(&node.key) {
+                    std::cmp::Ordering::Equal => {
+                        let value = node.value;
+                        // Confirm the copy was taken under live protection
+                        // before letting it escape the walk.
+                        t.checkpoint()?;
+                        return Ok(Some(value));
+                    }
+                    std::cmp::Ordering::Less => cur = t.load(&node.left)?,
+                    std::cmp::Ordering::Greater => cur = t.load(&node.right)?,
+                }
             }
-        }
-        None
+            Ok(None)
+        })
     }
 
     /// In-order traversal under a guard.
     ///
+    /// Under epoch this is the classic explicit-stack walk. Under the
+    /// robust backends a stack of raw ancestor pointers is exactly the
+    /// bug this layer exists to fix — after a mid-walk ejection (or a
+    /// hazard revalidation failure) every popped entry may point at
+    /// reclaimed memory, and no saved pointer can be re-trusted. So the
+    /// robust walk never keeps a stack: each emission re-seeks, from the
+    /// root, the smallest key strictly greater than the last one
+    /// emitted, holding the best candidate in a dedicated hazard slot
+    /// for the length of the descent. On retry the walk restarts from
+    /// the root and the `last`-emitted cursor (which lives outside the
+    /// walk) guarantees forward progress without duplicates.
+    ///
     /// # Panics
     ///
-    /// Panics on a cross-domain guard.
+    /// Panics on a cross-domain or backend-mismatched guard.
     pub fn for_each(&self, guard: &ReadGuard<'_>, mut f: impl FnMut(u64, &T)) {
         self.check_guard(guard);
-        // Iterative in-order walk with an explicit stack.
+        if self.kind == TraversalKind::Epoch {
+            return self.for_each_epoch(f);
+        }
+        let mut last: Option<u64> = None;
+        loop {
+            let next = guard.walk(self.kind, |t| {
+                let mut cur = t.load(&self.root)?;
+                let mut best: *mut Node<T> = ptr::null_mut();
+                while !cur.is_null() {
+                    // SAFETY: per-hop protected load, as in `lookup`.
+                    let node = unsafe { &*cur };
+                    let above = match last {
+                        Some(l) => node.key > l,
+                        None => true,
+                    };
+                    if above {
+                        // New best candidate for the next emission; park
+                        // it in the walk's candidate slot so it stays
+                        // protected while the descent moves on.
+                        best = cur;
+                        t.pin_candidate(cur);
+                        cur = t.load(&node.left)?;
+                    } else {
+                        cur = t.load(&node.right)?;
+                    }
+                }
+                if best.is_null() {
+                    return Ok(None);
+                }
+                // SAFETY: `best` is held by the candidate slot (hp) or by
+                // the still-valid pin (hyaline, confirmed just below).
+                let node = unsafe { &*best };
+                let (key, value) = (node.key, node.value);
+                t.checkpoint()?;
+                Ok(Some((key, value)))
+            });
+            match next {
+                Some((key, value)) => {
+                    // Call out to the visitor outside the walk: a retry
+                    // can then never re-emit, and a lookup from inside
+                    // `f` starts its own depth-1 walk.
+                    f(key, &value);
+                    last = Some(key);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The epoch-only in-order walk: an explicit stack of raw pointers,
+    /// sound because an epoch pin protects everything reachable at any
+    /// point during the pin — popped ancestors included.
+    fn for_each_epoch(&self, mut f: impl FnMut(u64, &T)) {
         let mut stack = Vec::new();
         let mut cur = self.root.load(Ordering::Acquire);
         while !cur.is_null() || !stack.is_empty() {
             while !cur.is_null() {
                 stack.push(cur);
-                // SAFETY: guard-protected.
+                // SAFETY: guard-protected (epoch: pin covers reachability).
                 cur = unsafe { (*cur).left.load(Ordering::Acquire) };
             }
             let node = stack.pop().expect("stack non-empty");
-            // SAFETY: guard-protected.
+            // SAFETY: guard-protected (epoch: pin covers reachability).
             let node_ref = unsafe { &*node };
             f(node_ref.key, &node_ref.value);
             cur = node_ref.right.load(Ordering::Acquire);
@@ -221,7 +329,12 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
     /// Returns [`AllocError`] on allocator exhaustion (tree unchanged).
     pub fn insert(&self, key: u64, value: T) -> Result<bool, AllocError> {
         let _w = self.writer.lock();
-        // SAFETY: writer lock held; links are stable under us.
+        // SAFETY: writer lock held; links are stable under us. The read
+        // phase below needs no per-hop hazard protection under any
+        // backend: unlinking requires this same lock, so every node this
+        // descent touches is still reachable, and reachable nodes cannot
+        // have been deferred — no backend reclaims an object before it
+        // is unlinked.
         unsafe {
             let mut link: *const AtomicPtr<Node<T>> = &self.root;
             let mut cur = (*link).load(Ordering::Acquire);
@@ -259,7 +372,9 @@ impl<T: Copy + Send + Sync> RcuBst<T> {
         let _w = self.writer.lock();
         // SAFETY: writer lock held throughout; every replaced or unlinked
         // node is deferred exactly once after being made unreachable for
-        // new readers.
+        // new readers. As in `insert`, the descent only dereferences
+        // reachable nodes, which no reclamation backend (robust or not)
+        // can free out from under the lock that serializes unlinking.
         unsafe {
             let mut link: *const AtomicPtr<Node<T>> = &self.root;
             let mut cur = (*link).load(Ordering::Acquire);
@@ -520,6 +635,55 @@ mod tests {
             stop.store(true, Ordering::Relaxed);
         });
         assert_eq!(tree.len(), 64);
+    }
+
+    fn setup_with_backend(backend: ReclaimBackend) -> (Arc<Rcu>, Arc<dyn ObjectAllocator>) {
+        use pbs_rcu::reclaim::{domain_for, ReclaimConfig};
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let domain = domain_for(Arc::clone(&rcu), backend, ReclaimConfig::aggressive());
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::with_domain(
+            "bst-nodes",
+            64,
+            PrudenceConfig::new(2),
+            pages,
+            domain,
+        ));
+        (rcu, cache)
+    }
+
+    #[test]
+    fn robust_backends_keep_inorder_walks_exact() {
+        // The seek-above walk (no ancestor stack) must produce the same
+        // in-order sequence as the epoch stack walk, including across a
+        // two-child removal that hoists the successor's value.
+        for backend in [ReclaimBackend::Hp, ReclaimBackend::Hyaline] {
+            let (rcu, cache) = setup_with_backend(backend);
+            let tree: RcuBst<u64> = RcuBst::new(cache);
+            let t = rcu.register();
+            for k in [50u64, 30, 70, 20, 40, 60, 80] {
+                tree.insert(k, k * 10).unwrap();
+            }
+            assert_eq!(tree.remove(50), Some(500));
+            let g = t.read_lock();
+            let mut entries = Vec::new();
+            tree.for_each(&g, |k, v| entries.push((k, *v)));
+            assert_eq!(
+                entries,
+                vec![(20, 200), (30, 300), (40, 400), (60, 600), (70, 700), (80, 800)],
+                "{backend:?}"
+            );
+            assert_eq!(tree.lookup(&g, 60), Some(600), "{backend:?}");
+            assert_eq!(tree.lookup(&g, 50), None, "{backend:?}");
+            // Lookups from inside the visitor start their own walk.
+            let mut hits = 0;
+            tree.for_each(&g, |k, _| {
+                if tree.lookup(&g, k).is_some() {
+                    hits += 1;
+                }
+            });
+            assert_eq!(hits, 6, "{backend:?}");
+        }
     }
 
     #[test]

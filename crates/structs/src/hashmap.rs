@@ -9,7 +9,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pbs_alloc_api::{AllocError, ObjPtr, ObjectAllocator};
-use pbs_rcu::ReadGuard;
+use pbs_rcu::reclaim::ReclaimBackend;
+use pbs_rcu::{ReadGuard, TraversalKind};
 
 #[repr(C)]
 struct Node<K, V> {
@@ -55,6 +56,10 @@ pub struct RcuHashMap<K, V> {
     alloc: Arc<dyn ObjectAllocator>,
     len: AtomicUsize,
     domain_id: u64,
+    /// The reclamation backend node frees defer into; selects the
+    /// per-hop protection of read-side walks (see `check_guard`).
+    backend: ReclaimBackend,
+    kind: TraversalKind,
     _marker: PhantomData<(K, V)>,
 }
 
@@ -97,6 +102,10 @@ where
         );
         let n = buckets.next_power_of_two();
         let domain_id = alloc.rcu().id();
+        let backend = alloc
+            .reclaim_domain()
+            .map(|d| d.backend())
+            .unwrap_or(ReclaimBackend::Epoch);
         Self {
             buckets: (0..n).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
             locks: (0..n).map(|_| Mutex::new(())).collect(),
@@ -104,6 +113,8 @@ where
             alloc,
             len: AtomicUsize::new(0),
             domain_id,
+            backend,
+            kind: TraversalKind::from(backend),
             _marker: PhantomData,
         }
     }
@@ -119,6 +130,13 @@ where
             guard.domain_id(),
             self.domain_id,
             "read guard belongs to a different RCU domain than this map's allocator"
+        );
+        // See `RcuList::check_guard`: the guard must also participate in
+        // the backend that reclaims the nodes, or it protects nothing.
+        assert!(
+            guard.protects_backend(self.backend),
+            "read guard's RCU domain is not watched by this map's `{}` reclamation backend",
+            self.backend.label()
         );
     }
 
@@ -141,6 +159,20 @@ where
         ObjPtr::new(unsafe { ptr::NonNull::new_unchecked(node.cast()) })
     }
 
+    /// Retires an unlinked node; under a robust backend its chain link
+    /// is poisoned first so parked traversals restart from the bucket
+    /// head instead of following it (see `RcuList::retire`).
+    ///
+    /// # Safety
+    ///
+    /// `node` must be unlinked and retired exactly once.
+    unsafe fn retire(&self, node: *mut Node<K, V>) {
+        if self.backend != ReclaimBackend::Epoch {
+            pbs_rcu::poison_link(&(*node).next);
+        }
+        self.alloc.free_deferred(Self::obj_of(node));
+    }
+
     /// Number of entries (approximate under concurrent writers).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
@@ -161,8 +193,11 @@ where
     pub fn insert(&self, key: K, value: V) -> Result<bool, AllocError> {
         let b = self.bucket_of(&key);
         let _w = self.locks[b].lock();
-        // SAFETY: bucket lock held; chain stable under us; reclamation is
-        // grace-period-deferred.
+        // SAFETY: bucket lock held; chain stable under us. The chain scan
+        // needs no per-hop hazard protection under any backend: unlinking
+        // requires this same bucket lock, so every node the scan touches
+        // is still reachable, and no backend reclaims an object before it
+        // is unlinked.
         unsafe {
             let mut prev: *const AtomicPtr<Node<K, V>> = &self.buckets[b];
             let mut cur = (*prev).load(Ordering::Acquire);
@@ -171,7 +206,7 @@ where
                     let next = (*cur).next.load(Ordering::Acquire);
                     let new = self.alloc_node(key, value, next)?;
                     (*prev).store(new, Ordering::Release);
-                    self.alloc.free_deferred(Self::obj_of(cur));
+                    self.retire(cur);
                     return Ok(true);
                 }
                 prev = &(*cur).next;
@@ -187,22 +222,35 @@ where
 
     /// Looks up `key` under a read guard, returning a copy of the value.
     ///
+    /// The chain walk is a backend-aware protected traversal: plain
+    /// `Acquire` loads under epoch, hazard-published hand-over-hand hops
+    /// under hp, and per-hop ejection checkpoints (with retry-from-head)
+    /// under hyaline.
+    ///
     /// # Panics
     ///
-    /// Panics if `guard` belongs to a different RCU domain.
+    /// Panics if `guard` belongs to a different RCU domain or one whose
+    /// reclamation backend does not watch this map's domain.
     pub fn get(&self, guard: &ReadGuard<'_>, key: &K) -> Option<V> {
         self.check_guard(guard);
         let b = self.bucket_of(key);
-        let mut cur = self.buckets[b].load(Ordering::Acquire);
-        while !cur.is_null() {
-            // SAFETY: protected by the (domain-checked) read guard.
-            let node = unsafe { &*cur };
-            if node.key == *key {
-                return Some(node.value);
+        guard.walk(self.kind, |t| {
+            let mut cur = t.load(&self.buckets[b])?;
+            while !cur.is_null() {
+                // SAFETY: `t.load` only returns pointers it protects for
+                // this hop (see `RcuList::lookup`).
+                let node = unsafe { &*cur };
+                if node.key == *key {
+                    let value = node.value;
+                    // Confirm the copy was taken under live protection
+                    // before letting it escape the walk.
+                    t.checkpoint()?;
+                    return Ok(Some(value));
+                }
+                cur = t.load(&node.next)?;
             }
-            cur = node.next.load(Ordering::Acquire);
-        }
-        None
+            Ok(None)
+        })
     }
 
     /// Removes `key`, deferring the free of its node. Returns the removed
@@ -210,7 +258,7 @@ where
     pub fn remove(&self, key: &K) -> Option<V> {
         let b = self.bucket_of(key);
         let _w = self.locks[b].lock();
-        // SAFETY: as in `insert`.
+        // SAFETY: as in `insert` (lock-serialized reachability).
         unsafe {
             let mut prev: *const AtomicPtr<Node<K, V>> = &self.buckets[b];
             let mut cur = (*prev).load(Ordering::Acquire);
@@ -219,7 +267,7 @@ where
                     let next = (*cur).next.load(Ordering::Acquire);
                     let value = (*cur).value;
                     (*prev).store(next, Ordering::Release);
-                    self.alloc.free_deferred(Self::obj_of(cur));
+                    self.retire(cur);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     return Some(value);
                 }
@@ -239,7 +287,7 @@ where
     pub fn insert_if_absent(&self, key: K, value: V) -> Result<bool, AllocError> {
         let b = self.bucket_of(&key);
         let _w = self.locks[b].lock();
-        // SAFETY: bucket lock held; chain stable; RCU-deferred reclamation.
+        // SAFETY: as in `insert` (lock-serialized reachability).
         unsafe {
             let mut cur = self.buckets[b].load(Ordering::Acquire);
             while !cur.is_null() {
@@ -258,19 +306,39 @@ where
 
     /// Visits every entry under a read guard.
     ///
+    /// Each bucket chain runs as one protected walk; a retry (hazard
+    /// revalidation failure or hyaline ejection) restarts the chain from
+    /// its head, and the positional `emitted` cursor — which lives
+    /// outside the walk — skips entries the visitor already saw, so `f`
+    /// never observes a duplicate from the same chain position.
+    ///
     /// # Panics
     ///
-    /// Panics on a cross-domain guard.
+    /// Panics on a cross-domain or backend-mismatched guard.
     pub fn for_each(&self, guard: &ReadGuard<'_>, mut f: impl FnMut(&K, &V)) {
         self.check_guard(guard);
         for bucket in &self.buckets {
-            let mut cur = bucket.load(Ordering::Acquire);
-            while !cur.is_null() {
-                // SAFETY: protected by the read guard.
-                let node = unsafe { &*cur };
-                f(&node.key, &node.value);
-                cur = node.next.load(Ordering::Acquire);
-            }
+            let mut emitted = 0usize;
+            guard.walk(self.kind, |t| {
+                let mut index = 0usize;
+                let mut cur = t.load(bucket)?;
+                while !cur.is_null() {
+                    // SAFETY: per-hop protected load, as in `get`.
+                    let node = unsafe { &*cur };
+                    if index >= emitted {
+                        let (key, value) = (node.key, node.value);
+                        t.checkpoint()?;
+                        // Past the checkpoint the copies are proven to
+                        // have been taken under protection; hand them to
+                        // the visitor before advancing the cursor.
+                        f(&key, &value);
+                        emitted += 1;
+                    }
+                    index += 1;
+                    cur = t.load(&node.next)?;
+                }
+                Ok(())
+            });
         }
     }
 }
@@ -422,6 +490,50 @@ mod tests {
         let mut count = 0;
         map.for_each(&g, |_, _| count += 1);
         assert_eq!(count, 30);
+    }
+
+    fn setup_with_backend(backend: ReclaimBackend) -> (Arc<Rcu>, Arc<dyn ObjectAllocator>) {
+        use pbs_rcu::reclaim::{domain_for, ReclaimConfig};
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let domain = domain_for(Arc::clone(&rcu), backend, ReclaimConfig::aggressive());
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::with_domain(
+            "map-nodes",
+            64,
+            PrudenceConfig::new(2),
+            pages,
+            domain,
+        ));
+        (rcu, cache)
+    }
+
+    #[test]
+    fn robust_backends_walk_chains_with_per_hop_protection() {
+        for backend in [ReclaimBackend::Hp, ReclaimBackend::Hyaline] {
+            let (rcu, cache) = setup_with_backend(backend);
+            let map: RcuHashMap<u64, u64> = RcuHashMap::new(cache, 8);
+            let t = rcu.register();
+            for i in 0..60 {
+                map.insert(i, i * 2).unwrap();
+            }
+            for i in 0..30 {
+                map.insert(i, i * 3).unwrap();
+            }
+            let g = t.read_lock();
+            assert_eq!(map.get(&g, &10), Some(30), "{backend:?}");
+            assert_eq!(map.get(&g, &45), Some(90), "{backend:?}");
+            assert_eq!(map.get(&g, &99), None, "{backend:?}");
+            let mut count = 0;
+            let mut sum = 0;
+            map.for_each(&g, |k, v| {
+                count += 1;
+                sum += k + v;
+            });
+            assert_eq!(count, 60, "{backend:?}");
+            let expect: u64 = (0..30).map(|i| i * 4).sum::<u64>()
+                + (30..60).map(|i| i * 3).sum::<u64>();
+            assert_eq!(sum, expect, "{backend:?}");
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pbs_alloc_api::{AllocError, ObjPtr, ObjectAllocator};
-use pbs_rcu::ReadGuard;
+use pbs_rcu::reclaim::ReclaimBackend;
+use pbs_rcu::{ReadGuard, TraversalKind};
 
 /// One list node, stored inside an allocator object.
 #[repr(C)]
@@ -39,6 +40,11 @@ pub struct RcuList<T> {
     writer: Mutex<()>,
     len: AtomicUsize,
     domain_id: u64,
+    /// The reclamation backend the allocator defers freed nodes into;
+    /// decides the per-hop protection discipline of every read-side walk
+    /// and is enforced against guards in `check_guard`.
+    backend: ReclaimBackend,
+    kind: TraversalKind,
     _marker: PhantomData<T>,
 }
 
@@ -74,12 +80,18 @@ impl<T: Copy + Send + Sync> RcuList<T> {
             "allocator objects are 8-byte aligned; node needs more"
         );
         let domain_id = alloc.rcu().id();
+        let backend = alloc
+            .reclaim_domain()
+            .map(|d| d.backend())
+            .unwrap_or(ReclaimBackend::Epoch);
         Self {
             head: AtomicPtr::new(ptr::null_mut()),
             alloc,
             writer: Mutex::new(()),
             len: AtomicUsize::new(0),
             domain_id,
+            backend,
+            kind: TraversalKind::from(backend),
             _marker: PhantomData,
         }
     }
@@ -89,6 +101,15 @@ impl<T: Copy + Send + Sync> RcuList<T> {
             guard.domain_id(),
             self.domain_id,
             "read guard belongs to a different RCU domain than this list's allocator"
+        );
+        // Same registry is necessary but not sufficient: the guard's
+        // domain must also be watched by the backend the nodes are
+        // reclaimed through, or the pin (epoch) / hazard slots (hp) /
+        // batch capture (hyaline) it relies on protect nothing.
+        assert!(
+            guard.protects_backend(self.backend),
+            "read guard's RCU domain is not watched by this list's `{}` reclamation backend",
+            self.backend.label()
         );
     }
 
@@ -110,6 +131,25 @@ impl<T: Copy + Send + Sync> RcuList<T> {
     fn obj_of(node: *mut Node<T>) -> ObjPtr {
         // SAFETY: node pointers are never null where this is called.
         ObjPtr::new(unsafe { ptr::NonNull::new_unchecked(node.cast()) })
+    }
+
+    /// Retires an unlinked node. Under a robust backend its outgoing
+    /// link is poisoned first: a traversal parked on the retired node
+    /// must restart from the head (it gets [`pbs_rcu::Retry`]) rather
+    /// than follow a link whose target can be reclaimed without this
+    /// node's own link ever changing. Epoch walkers need the opposite —
+    /// retired nodes keep their links so pinned readers can cross them —
+    /// so epoch-backed lists never poison.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be unlinked (unreachable for new readers) and retired
+    /// exactly once.
+    unsafe fn retire(&self, node: *mut Node<T>) {
+        if self.backend != ReclaimBackend::Epoch {
+            pbs_rcu::poison_link(&(*node).next);
+        }
+        self.alloc.free_deferred(Self::obj_of(node));
     }
 
     /// Number of entries (approximate under concurrent writers).
@@ -146,17 +186,24 @@ impl<T: Copy + Send + Sync> RcuList<T> {
     /// allocator (that guard would not protect this traversal).
     pub fn lookup(&self, guard: &ReadGuard<'_>, key: u64) -> Option<T> {
         self.check_guard(guard);
-        let mut cur = self.head.load(Ordering::Acquire);
-        while !cur.is_null() {
-            // SAFETY: under a read guard of the right domain, nodes
-            // reachable from head are not reclaimed.
-            let node = unsafe { &*cur };
-            if node.key == key {
-                return Some(node.value);
+        guard.walk(self.kind, |t| {
+            let mut cur = t.load(&self.head)?;
+            while !cur.is_null() {
+                // SAFETY: `cur` came out of a protected load — under
+                // epoch the guard keeps it alive, under hp its hazard
+                // slot does, under hyaline the pin's capture was live at
+                // the load's ejection check.
+                let node = unsafe { &*cur };
+                if node.key == key {
+                    let value = node.value;
+                    // Commit only data copied under live protection.
+                    t.checkpoint()?;
+                    return Ok(Some(value));
+                }
+                cur = t.load(&node.next)?;
             }
-            cur = node.next.load(Ordering::Acquire);
-        }
-        None
+            Ok(None)
+        })
     }
 
     /// Iterates the list under a guard, calling `f` for each entry.
@@ -166,13 +213,29 @@ impl<T: Copy + Send + Sync> RcuList<T> {
     /// Panics on a cross-domain guard, as [`lookup`](Self::lookup).
     pub fn for_each(&self, guard: &ReadGuard<'_>, mut f: impl FnMut(u64, &T)) {
         self.check_guard(guard);
-        let mut cur = self.head.load(Ordering::Acquire);
-        while !cur.is_null() {
-            // SAFETY: as in `lookup`.
-            let node = unsafe { &*cur };
-            f(node.key, &node.value);
-            cur = node.next.load(Ordering::Acquire);
-        }
+        // Entries already delivered to `f`. A revoked attempt (hyaline
+        // ejection) restarts the chain and skips this many before
+        // emitting again, so nothing is delivered twice: positional
+        // resume, exact on a quiescent list and best-effort — like any
+        // RCU walk — under concurrent writers.
+        let mut emitted = 0usize;
+        guard.walk(self.kind, |t| {
+            let mut cur = t.load(&self.head)?;
+            let mut index = 0usize;
+            while !cur.is_null() {
+                // SAFETY: as in `lookup`.
+                let node = unsafe { &*cur };
+                if index >= emitted {
+                    let (key, value) = (node.key, node.value);
+                    t.checkpoint()?;
+                    f(key, &value);
+                    emitted += 1;
+                }
+                index += 1;
+                cur = t.load(&node.next)?;
+            }
+            Ok(())
+        });
     }
 
     /// The Figure 1 update: replaces the first entry with `key` by a new
@@ -186,8 +249,12 @@ impl<T: Copy + Send + Sync> RcuList<T> {
     pub fn update(&self, key: u64, value: T) -> Result<bool, AllocError> {
         let _w = self.writer.lock();
         let mut prev: *const AtomicPtr<Node<T>> = &self.head;
-        // SAFETY: the writer lock is held, so the chain of next pointers is
-        // stable under us; nodes are only reclaimed after a grace period.
+        // SAFETY: the writer lock is held, so the chain of next pointers
+        // is stable under us and every node we touch is still reachable.
+        // This holds under every reclamation backend without per-hop
+        // protection: nodes are only deferred *after* being unlinked, and
+        // unlinking requires this same lock — so no backend, robust or
+        // not, can reclaim a reachable node out from under the walk.
         unsafe {
             let mut cur = (*prev).load(Ordering::Acquire);
             while !cur.is_null() {
@@ -197,7 +264,7 @@ impl<T: Copy + Send + Sync> RcuList<T> {
                     // Publish the new version; readers see old or new.
                     (*prev).store(new, Ordering::Release);
                     // Defer freeing the old version (Listing 2).
-                    self.alloc.free_deferred(Self::obj_of(cur));
+                    self.retire(cur);
                     return Ok(true);
                 }
                 prev = &(*cur).next;
@@ -212,14 +279,15 @@ impl<T: Copy + Send + Sync> RcuList<T> {
     pub fn remove(&self, key: u64) -> bool {
         let _w = self.writer.lock();
         let mut prev: *const AtomicPtr<Node<T>> = &self.head;
-        // SAFETY: as in `update`.
+        // SAFETY: as in `update` (lock-serialized reachability covers
+        // every backend).
         unsafe {
             let mut cur = (*prev).load(Ordering::Acquire);
             while !cur.is_null() {
                 if (*cur).key == key {
                     let next = (*cur).next.load(Ordering::Acquire);
                     (*prev).store(next, Ordering::Release);
-                    self.alloc.free_deferred(Self::obj_of(cur));
+                    self.retire(cur);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     return true;
                 }
@@ -379,5 +447,101 @@ mod tests {
     fn oversized_node_rejected() {
         let (_rcu, cache) = setup();
         let _list: RcuList<[u64; 32]> = RcuList::new(cache);
+    }
+
+    fn setup_with_backend(backend: ReclaimBackend) -> (Arc<Rcu>, Arc<dyn ObjectAllocator>) {
+        use pbs_rcu::reclaim::{domain_for, ReclaimConfig};
+        let pages = Arc::new(PageAllocator::new());
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let domain = domain_for(Arc::clone(&rcu), backend, ReclaimConfig::aggressive());
+        let cache: Arc<dyn ObjectAllocator> = Arc::new(PrudenceCache::with_domain(
+            "list-nodes",
+            64,
+            PrudenceConfig::new(2),
+            pages,
+            domain,
+        ));
+        (rcu, cache)
+    }
+
+    #[test]
+    fn robust_backends_walk_with_per_hop_protection() {
+        for backend in [ReclaimBackend::Hp, ReclaimBackend::Hyaline] {
+            let (rcu, cache) = setup_with_backend(backend);
+            let list: RcuList<u64> = RcuList::new(cache);
+            let t = rcu.register();
+            for i in 0..50 {
+                list.insert(i, i * 2).unwrap();
+            }
+            for i in 0..25 {
+                assert!(list.update(i, i * 3).unwrap());
+            }
+            let g = t.read_lock();
+            assert_eq!(list.lookup(&g, 10), Some(30), "{backend}");
+            assert_eq!(list.lookup(&g, 40), Some(80), "{backend}");
+            assert_eq!(list.lookup(&g, 99), None, "{backend}");
+            let mut count = 0;
+            list.for_each(&g, |_, _| count += 1);
+            assert_eq!(count, 50, "{backend}");
+            drop(g);
+        }
+    }
+
+    /// Delegates to a real cache but routes deferred frees into a
+    /// reclamation domain over a *different* `Rcu` — the misconfiguration
+    /// `check_guard`'s backend check exists to catch: a guard from the
+    /// allocator's own registry passes the domain-id check while the hp
+    /// domain that actually frees the nodes never scans that registry, so
+    /// the guard's hazards protect nothing.
+    struct MiswiredAlloc {
+        inner: Arc<dyn ObjectAllocator>,
+        domain: Arc<dyn pbs_rcu::reclaim::ReclamationDomain>,
+    }
+
+    impl ObjectAllocator for MiswiredAlloc {
+        fn allocate(&self) -> Result<ObjPtr, AllocError> {
+            self.inner.allocate()
+        }
+        unsafe fn free(&self, obj: ObjPtr) {
+            self.inner.free(obj)
+        }
+        unsafe fn free_deferred(&self, obj: ObjPtr) {
+            self.inner.free_deferred(obj)
+        }
+        fn object_size(&self) -> usize {
+            self.inner.object_size()
+        }
+        fn name(&self) -> &str {
+            "miswired"
+        }
+        fn rcu(&self) -> &Arc<Rcu> {
+            self.inner.rcu()
+        }
+        fn reclaim_domain(&self) -> Option<&Arc<dyn pbs_rcu::reclaim::ReclamationDomain>> {
+            Some(&self.domain)
+        }
+        fn stats(&self) -> pbs_alloc_api::CacheStatsSnapshot {
+            self.inner.stats()
+        }
+        fn quiesce(&self) {
+            self.inner.quiesce()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reclamation backend")]
+    fn matching_domain_guard_with_unwatched_backend_panics() {
+        use pbs_rcu::reclaim::{domain_for, ReclaimConfig};
+        let (rcu, cache) = setup();
+        let other = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let domain = domain_for(other, ReclaimBackend::Hp, ReclaimConfig::default());
+        let alloc: Arc<dyn ObjectAllocator> = Arc::new(MiswiredAlloc {
+            inner: cache,
+            domain,
+        });
+        let list: RcuList<u64> = RcuList::new(alloc);
+        let t = rcu.register();
+        let g = t.read_lock();
+        let _ = list.lookup(&g, 1);
     }
 }

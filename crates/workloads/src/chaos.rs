@@ -350,9 +350,10 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     );
 
     let backend = params.reclaim.unwrap_or_else(ReclaimBackend::from_env);
-    // Robust backends reclaim while readers stay pinned; a guard alone no
-    // longer protects a traversal, so the op mix below swaps the
-    // structure-walk arms for raw alloc/free/defer traffic.
+    // Robust backends reclaim while readers stay pinned. The structure
+    // walks run under every backend — lookups and for_each go through the
+    // protected-traversal layer (hazard-published under hp, checkpointed
+    // under hyaline), so the op mix below is identical across backends.
     let robust = backend != ReclaimBackend::Epoch;
     let reclaim_config = if robust {
         // Small batches / low scan thresholds and a short ejection fuse:
@@ -589,24 +590,6 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
                         } else {
                             roll
                         };
-                        // Robust backends free retired objects even while
-                        // readers are pinned, so a guard-only traversal of
-                        // the RCU structures would be a use-after-free by
-                        // design (their reader contract needs hazard
-                        // publication or batch-ref validation, which the
-                        // structs don't speak yet). Swap the structure arms
-                        // for raw defer/alloc traffic — the garbage-bound
-                        // probe below is what actually exercises the
-                        // backend's stall behaviour.
-                        let roll = if robust {
-                            match roll {
-                                6..=8 => 4, // tree/map churn -> deferred free
-                                9 => 0,     // guarded traversal -> alloc+hold
-                                other => other,
-                            }
-                        } else {
-                            roll
-                        };
                         match roll {
                             // Raw allocation, held for later free/defer.
                             0..=2 => match obj_cache.allocate() {
@@ -797,6 +780,145 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         if left != 0 {
             violations.push(format!(
                 "probe cache left {left} deferred objects after quiesce"
+            ));
+        }
+    }
+
+    // Lookup-gating probe (stalled-reader scenario only): the inverse of
+    // the garbage probe above. There the reader merely pins; here it keeps
+    // *traversing the structures* while the backend reclaims around it, so
+    // hp scans and hyaline ejections land mid-walk. Gates: no lookup may
+    // crash or return a stale hit for a key whose removal the reader has
+    // already observed, sentinel entries must stay exact, and under
+    // hyaline the walk layer must actually have absorbed an ejection
+    // (otherwise the traversal contract was never exercised).
+    if params.scenario == ChaosScenario::StalledReader {
+        let probe_cache = bed.create_cache("chaos_walk_probe", 64);
+        let tree: RcuBst<u64> = RcuBst::new(Arc::clone(&probe_cache));
+        let map: RcuHashMap<u64, u64> = RcuHashMap::new(Arc::clone(&probe_cache), 8);
+        // Seeding races the injected grow faults; a failed insert leaves
+        // the structure unchanged, so retry before calling it starved.
+        let mut seeded = true;
+        for k in 0..16u64 {
+            let mut in_tree = false;
+            let mut in_map = false;
+            for _ in 0..8 {
+                in_tree = in_tree || tree.insert(k, k * 7).is_ok();
+                in_map = in_map || map.insert(k, k * 11).is_ok();
+                if in_tree && in_map {
+                    break;
+                }
+            }
+            seeded &= in_tree && in_map;
+        }
+        if !seeded {
+            violations.push("walk probe starved: could not seed sentinel keys".into());
+        } else {
+            const REMOVED_KEY: u64 = 8;
+            // Allocate the garbage mountain up front: a failed grow climbs
+            // recovery ladders that may wait on reclamation, which must
+            // never happen while our own walker keeps the domain pinned
+            // (same rule as the garbage probe above).
+            let mut garbage: Vec<ObjPtr> = Vec::with_capacity(512);
+            while garbage.len() < 512 {
+                match probe_cache.allocate() {
+                    Ok(obj) => garbage.push(obj),
+                    Err(_) => {
+                        oom_errors += 1;
+                        break;
+                    }
+                }
+            }
+            let removed = AtomicBool::new(false);
+            let stop = AtomicBool::new(false);
+            let ejections_before = bed.reclaim_stats().ejections;
+            let mut walk_report = (0u64, Vec::new());
+            std::thread::scope(|s| {
+                let worker = s.spawn(|| {
+                    let reader = bed.rcu().register();
+                    // One pin held across every walk: exactly the stalled
+                    // reader the robust backends reclaim around.
+                    let guard = reader.read_lock();
+                    let mut validate_losses = 0u64;
+                    let mut problems = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let saw_removal = removed.load(Ordering::Acquire);
+                        for k in 0..16u64 {
+                            let t_hit = tree.lookup(&guard, k);
+                            let m_hit = map.get(&guard, &k);
+                            if k == REMOVED_KEY {
+                                if saw_removal && (t_hit.is_some() || m_hit.is_some()) {
+                                    problems.push(format!(
+                                        "walk probe: key {k} visible after its removal \
+                                         was published (tree {t_hit:?}, map {m_hit:?})"
+                                    ));
+                                }
+                            } else if t_hit != Some(k * 7) || m_hit != Some(k * 11) {
+                                problems.push(format!(
+                                    "walk probe: sentinel {k} corrupted \
+                                     (tree {t_hit:?}, map {m_hit:?})"
+                                ));
+                            }
+                        }
+                        if !guard.validate() {
+                            validate_losses += 1;
+                        }
+                    }
+                    drop(guard);
+                    (validate_losses, problems)
+                });
+                // Let the reader spin up, publish the removal, then bury
+                // the domain in deferred garbage so scans and seals run
+                // against the still-pinned, still-walking reader.
+                std::thread::sleep(Duration::from_millis(1));
+                tree.remove(REMOVED_KEY);
+                map.remove(&REMOVED_KEY);
+                removed.store(true, Ordering::Release);
+                let deadline = Instant::now() + Duration::from_millis(15);
+                while Instant::now() < deadline {
+                    for _ in 0..8 {
+                        if let Some(obj) = garbage.pop() {
+                            unsafe { probe_cache.free_deferred(obj) };
+                        }
+                    }
+                    bed.reclaim_domain().advance();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                for obj in garbage.drain(..) {
+                    unsafe { probe_cache.free_deferred(obj) };
+                }
+                stop.store(true, Ordering::Release);
+                match worker.join() {
+                    Ok(report) => walk_report = report,
+                    Err(_) => violations.push("walk probe reader panicked".into()),
+                }
+            });
+            let (validate_losses, problems) = walk_report;
+            violations.extend(problems);
+            if backend == ReclaimBackend::Hyaline {
+                let ejected = bed.reclaim_stats().ejections - ejections_before;
+                if ejected == 0 {
+                    violations.push(
+                        "walk probe inert: hyaline never ejected the traversing reader"
+                            .into(),
+                    );
+                } else if validate_losses == 0 {
+                    violations.push(format!(
+                        "walk probe: {ejected} ejections but the traversing guard \
+                         never reported validate() == false"
+                    ));
+                }
+            }
+        }
+        // Free the sentinel nodes, then drain the probe's deferred traffic
+        // (the staller is gone and the walker's pin is released).
+        drop(tree);
+        drop(map);
+        probe_cache.quiesce();
+        let left = probe_cache.deferred_outstanding();
+        if left != 0 {
+            violations.push(format!(
+                "walk probe cache left {left} deferred objects after quiesce"
             ));
         }
     }

@@ -68,8 +68,10 @@ pub fn run_tree_churn(kind: AllocatorKind, params: &TreeChurnParams) -> TreeChur
         for tid in 0..params.threads {
             let cache = std::sync::Arc::clone(&cache);
             let params = params.clone();
+            let bed = &bed;
             handles.push(s.spawn(move || {
                 let tree: RcuBst<u64> = RcuBst::new(cache);
+                let reader = bed.rcu().register();
                 let mut rng = StdRng::seed_from_u64(params.seed ^ tid as u64);
                 for k in 0..params.keys {
                     tree.insert(k, k).expect("populate");
@@ -78,6 +80,16 @@ pub fn run_tree_churn(kind: AllocatorKind, params: &TreeChurnParams) -> TreeChur
                     let k = rng.gen_range(0..params.keys);
                     tree.remove(k);
                     tree.insert(k, i).expect("reinsert");
+                    // Read-side descent interleaved with the churn: under
+                    // the robust backends this runs the protected walk
+                    // against the very versions the churn just deferred.
+                    if i % 8 == 0 {
+                        let guard = reader.read_lock();
+                        assert!(
+                            tree.lookup(&guard, k).is_some(),
+                            "own reinsert of {k} invisible to a guarded lookup"
+                        );
+                    }
                 }
                 tree.deferred_versions()
             }));
