@@ -68,6 +68,16 @@ pub mod site {
     /// harnesses can prove mid-run switchover is leak-free and
     /// accounting-balanced.
     pub const FASTPATH_DISABLE: &str = "fastpath.disable";
+    /// One simulated TCP accept in `pbs_simnet::SimNet::connect`. An
+    /// injected fault refuses the handshake (SYN drop) before any slab
+    /// traffic happens, so churn harnesses can race connection setup
+    /// against refusals without leaking half-built connections.
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// One simulated socket read in `pbs_simnet::SimNet`'s request paths.
+    /// An injected fault models a peer that stops sending mid-request
+    /// (slowloris): the read returns would-block and the connection stays
+    /// open, pinning its server-side state until a deadline evicts it.
+    pub const NET_READ_STALL: &str = "net.read_stall";
 }
 
 /// When a site's faults fire. Call indices are 1-based and per site.

@@ -103,6 +103,11 @@ impl Epoll {
         self.epi_cache.stats()
     }
 
+    /// Deferred epi entries not yet reclaimed.
+    pub fn deferred_outstanding(&self) -> usize {
+        self.epi_cache.deferred_outstanding()
+    }
+
     /// Waits for all deferred epi frees.
     pub fn quiesce(&self) {
         self.epi_cache.quiesce();

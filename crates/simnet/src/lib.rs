@@ -42,6 +42,10 @@
 
 mod epoll;
 mod net;
+mod shard;
+mod wheel;
 
 pub use epoll::Epoll;
 pub use net::{ConnId, NetError, SimNet};
+pub use shard::{NetShard, ShardConfig, ShardedNet, EPOLLIN};
+pub use wheel::TimerWheel;

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pbs_alloc_api::{AllocError, CacheFactory, CacheStatsSnapshot, ObjPtr, ObjectAllocator};
+use pbs_fault::{site, FaultInjector};
 use pbs_rcu::ReadGuard;
 use pbs_structs::RcuHashMap;
 
@@ -19,6 +20,16 @@ pub enum NetError {
     NotConnected,
     /// The allocator ran out of memory.
     NoMemory,
+    /// The handshake was refused (injected `net.accept` fault — a dropped
+    /// SYN). No slab traffic happened; the caller may retry.
+    Refused,
+    /// The peer stopped sending mid-request (injected `net.read_stall`
+    /// fault — slowloris). The connection stays open and keeps pinning its
+    /// server-side state until a deadline evicts it.
+    WouldBlock,
+    /// A shard's accept backlog is full; the connection attempt is shed at
+    /// the listen queue, before any per-connection allocation.
+    Backlogged,
 }
 
 impl fmt::Display for NetError {
@@ -26,6 +37,9 @@ impl fmt::Display for NetError {
         match self {
             NetError::NotConnected => write!(f, "connection not established"),
             NetError::NoMemory => write!(f, "out of memory"),
+            NetError::Refused => write!(f, "connection refused (injected accept fault)"),
+            NetError::WouldBlock => write!(f, "read would block (peer stalled)"),
+            NetError::Backlogged => write!(f, "accept backlog full"),
         }
     }
 }
@@ -62,6 +76,7 @@ pub struct SimNet {
     selinux_cache: Arc<dyn ObjectAllocator>,
     skb_cache: Arc<dyn ObjectAllocator>,
     next_conn: AtomicU64,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl fmt::Debug for SimNet {
@@ -75,14 +90,27 @@ impl fmt::Debug for SimNet {
 impl SimNet {
     /// Creates a stack whose slab caches come from `factory`.
     pub fn new(factory: &dyn CacheFactory) -> Self {
+        Self::with_config(factory, 4096, None)
+    }
+
+    /// Creates a stack with an explicit connection-table bucket count and
+    /// an optional fault injector. Harnesses size `conn_buckets` to the
+    /// expected live-connection population (the table chains beyond it);
+    /// the injector arms the `net.accept` and `net.read_stall` sites.
+    pub fn with_config(
+        factory: &dyn CacheFactory,
+        conn_buckets: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let sock_cache = factory.create_cache("sock", SOCK_SIZE);
         Self {
-            conns: RcuHashMap::new(Arc::clone(&sock_cache), 4096),
+            conns: RcuHashMap::new(Arc::clone(&sock_cache), conn_buckets.max(1)),
             sock_cache,
             filp_cache: factory.create_cache("filp", FILP_SIZE),
             selinux_cache: factory.create_cache("selinux", SELINUX_SIZE),
             skb_cache: factory.create_cache("skbuff", SKB_SIZE),
             next_conn: AtomicU64::new(1),
+            faults,
         }
     }
 
@@ -91,19 +119,38 @@ impl SimNet {
     ///
     /// # Errors
     ///
-    /// [`NetError::NoMemory`] on allocator exhaustion.
+    /// [`NetError::NoMemory`] on allocator exhaustion, or
+    /// [`NetError::Refused`] when an armed `net.accept` fault drops the
+    /// handshake (before any slab traffic).
     pub fn connect(&self) -> Result<ConnId, NetError> {
+        if let Some(faults) = &self.faults {
+            if faults.should_fail(site::NET_ACCEPT) {
+                return Err(NetError::Refused);
+            }
+        }
         let id = ConnId(self.next_conn.fetch_add(1, Ordering::Relaxed));
         let filp = self.filp_cache.allocate()?;
-        let selinux = self.selinux_cache.allocate()?;
+        let selinux = match self.selinux_cache.allocate() {
+            Ok(selinux) => selinux,
+            Err(err) => {
+                // SAFETY: just allocated, never published.
+                unsafe { self.filp_cache.free(filp) };
+                return Err(err.into());
+            }
+        };
         // SAFETY: fresh exclusive objects of sufficient size.
         unsafe {
             filp.as_ptr().cast::<u64>().write(id.0);
             selinux.as_ptr().cast::<u64>().write(id.0);
         }
-        self.conns
-            .insert(id.0, ConnMeta { filp, selinux })
-            .map_err(NetError::from)?;
+        if let Err(err) = self.conns.insert(id.0, ConnMeta { filp, selinux }) {
+            // SAFETY: the insert failed, so neither object was published.
+            unsafe {
+                self.filp_cache.free(filp);
+                self.selinux_cache.free(selinux);
+            }
+            return Err(err.into());
+        }
         Ok(id)
     }
 
@@ -113,10 +160,18 @@ impl SimNet {
     ///
     /// # Errors
     ///
-    /// [`NetError::NoMemory`] on allocator exhaustion. The connection is
-    /// not validated per message (as in a real stack, the caller owns the
-    /// established socket).
+    /// [`NetError::NoMemory`] on allocator exhaustion, or
+    /// [`NetError::WouldBlock`] when an armed `net.read_stall` fault
+    /// models a peer that stops sending mid-request (the connection stays
+    /// open; the caller decides whether to wait or evict). The connection
+    /// is not validated per message (as in a real stack, the caller owns
+    /// the established socket).
     pub fn request_response(&self, _conn: ConnId, bytes: usize) -> Result<(), NetError> {
+        if let Some(faults) = &self.faults {
+            if faults.should_fail(site::NET_READ_STALL) {
+                return Err(NetError::WouldBlock);
+            }
+        }
         for _direction in 0..2 {
             let mut remaining = bytes.max(1);
             while remaining > 0 {
@@ -176,6 +231,14 @@ impl SimNet {
         ]
     }
 
+    /// Deferred objects not yet reclaimed across the stack's caches.
+    pub fn deferred_outstanding(&self) -> usize {
+        self.sock_cache.deferred_outstanding()
+            + self.filp_cache.deferred_outstanding()
+            + self.selinux_cache.deferred_outstanding()
+            + self.skb_cache.deferred_outstanding()
+    }
+
     /// Waits for all deferred frees across the stack's caches.
     pub fn quiesce(&self) {
         for cache in [
@@ -226,6 +289,42 @@ mod tests {
         );
         let net = SimNet::new(&factory);
         (rcu, net)
+    }
+
+    #[test]
+    fn connect_alloc_failure_paths_do_not_leak() {
+        // Heavy injected grow faults make connect() fail at every interior
+        // allocation (filp, selinux, sock node) over enough attempts; any
+        // partially-built connection must be rolled back, not leaked.
+        let rcu = Arc::new(Rcu::with_config(RcuConfig::eager()));
+        let faults = Arc::new(FaultInjector::new(7));
+        faults.schedule(site::PRUDENCE_GROW, pbs_fault::Schedule::Probability(0.5));
+        let pages = pbs_mem::PageAllocator::builder()
+            .fault_injector(Arc::clone(&faults))
+            .build();
+        let factory = PrudenceFactory::new(
+            PrudenceConfig::new(2),
+            Arc::new(pages),
+            Arc::clone(&rcu),
+        );
+        let net = SimNet::with_config(&factory, 64, Some(Arc::clone(&faults)));
+        let mut failures = 0usize;
+        let mut open = Vec::new();
+        for _ in 0..400 {
+            match net.connect() {
+                Ok(conn) => open.push(conn),
+                Err(NetError::NoMemory) => failures += 1,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(failures > 0, "p=0.5 grow faults never failed a connect");
+        for conn in open {
+            net.close(conn).unwrap();
+        }
+        net.quiesce();
+        for (name, s) in net.stats() {
+            assert_eq!(s.live_objects, 0, "cache {name} leaked: {s:?}");
+        }
     }
 
     #[test]

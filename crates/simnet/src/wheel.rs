@@ -1,0 +1,176 @@
+//! Hashed timer wheel for idle/slow-connection deadlines.
+//!
+//! Reactor shards arm one deadline per connection (idle timeout, refreshed
+//! on activity, or a hard request deadline for slow readers) and call
+//! [`TimerWheel::advance`] once per poll iteration. The wheel is
+//! deliberately tick-based and caller-clocked: harnesses drive it with a
+//! deterministic tick counter, benches with a nanosecond clock — the wheel
+//! never reads wall time itself.
+//!
+//! Cancellation is lazy, as in kernel timer wheels: re-arming a key does
+//! not remove the old entry; expiry hands back `(key, deadline)` pairs and
+//! the caller drops pairs whose deadline no longer matches the
+//! connection's current one.
+
+/// A hashed timer wheel over `u64` keys and absolute tick deadlines.
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// `slots[i]` holds entries whose deadline maps to granule `i` of the
+    /// current (or a future) revolution.
+    slots: Vec<Vec<(u64, u64)>>,
+    /// Ticks per slot.
+    granularity: u64,
+    /// The tick up to which the wheel has been advanced.
+    now: u64,
+    /// Entries currently armed (including stale, lazily-cancelled ones).
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel of `slots` granules, each `granularity` ticks wide.
+    /// The horizon (one revolution) is `slots * granularity` ticks;
+    /// deadlines beyond it simply take extra revolutions to pop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `granularity` is zero.
+    pub fn new(slots: usize, granularity: u64) -> Self {
+        assert!(slots > 0, "wheel needs at least one slot");
+        assert!(granularity > 0, "granularity must be nonzero ticks");
+        Self {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            now: 0,
+            armed: 0,
+        }
+    }
+
+    fn slot_of(&self, deadline: u64) -> usize {
+        ((deadline / self.granularity) as usize) % self.slots.len()
+    }
+
+    /// Arms `key` to expire at absolute tick `deadline`. Deadlines at or
+    /// before the current tick pop on the next [`advance`](Self::advance).
+    /// Re-arming does not cancel earlier entries for the same key — see
+    /// the module docs on lazy cancellation.
+    pub fn arm(&mut self, key: u64, deadline: u64) {
+        let slot = self.slot_of(deadline.max(self.now + 1));
+        self.slots[slot].push((key, deadline));
+        self.armed += 1;
+    }
+
+    /// Advances the wheel to absolute tick `now`, appending every entry
+    /// whose deadline is `<= now` to `expired` as `(key, deadline)` pairs.
+    /// Entries hashed into a visited slot but due in a later revolution
+    /// stay armed. Ticks never run backwards: a stale `now` is a no-op.
+    pub fn advance(&mut self, now: u64, expired: &mut Vec<(u64, u64)>) {
+        if now <= self.now {
+            return;
+        }
+        // Re-visit the granule containing the previous tick: it may have
+        // been only partially consumed. A full revolution visits every
+        // slot once; more adds nothing.
+        let first = self.now / self.granularity;
+        let last = now / self.granularity;
+        let granules = (last - first + 1).min(self.slots.len() as u64);
+        for g in first..first + granules {
+            let slot = (g as usize) % self.slots.len();
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].1 <= now {
+                    expired.push(entries.swap_remove(i));
+                    self.armed -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.now = now;
+    }
+
+    /// The tick the wheel has been advanced to.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Entries currently armed, including lazily-cancelled stale ones.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    /// Whether no entries are armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_due_entries_in_deadline_window() {
+        let mut w = TimerWheel::new(8, 10);
+        w.arm(1, 15);
+        w.arm(2, 25);
+        w.arm(3, 500);
+        let mut out = Vec::new();
+        w.advance(20, &mut out);
+        assert_eq!(out, vec![(1, 15)]);
+        out.clear();
+        w.advance(30, &mut out);
+        assert_eq!(out, vec![(2, 25)]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn far_deadline_survives_revolutions() {
+        let mut w = TimerWheel::new(4, 10);
+        // Horizon is 40 ticks; 95 needs two-plus revolutions.
+        w.arm(7, 95);
+        let mut out = Vec::new();
+        w.advance(40, &mut out);
+        w.advance(80, &mut out);
+        assert!(out.is_empty(), "popped early: {out:?}");
+        w.advance(100, &mut out);
+        assert_eq!(out, vec![(7, 95)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn big_jump_drains_everything_due() {
+        let mut w = TimerWheel::new(4, 1);
+        for key in 0..100 {
+            w.arm(key, key + 1);
+        }
+        let mut out = Vec::new();
+        w.advance(1_000_000, &mut out);
+        assert_eq!(out.len(), 100);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_now_is_noop_and_past_deadline_pops_next_advance() {
+        let mut w = TimerWheel::new(8, 10);
+        let mut out = Vec::new();
+        w.advance(50, &mut out);
+        w.advance(30, &mut out); // backwards: ignored
+        assert_eq!(w.now(), 50);
+        w.arm(9, 12); // already past; pops on the next forward advance
+        w.advance(51, &mut out);
+        assert_eq!(out, vec![(9, 12)]);
+    }
+
+    #[test]
+    fn lazy_cancellation_hands_back_both_entries() {
+        let mut w = TimerWheel::new(8, 1);
+        w.arm(4, 3);
+        w.arm(4, 6); // refresh: old entry stays armed
+        assert_eq!(w.len(), 2);
+        let mut out = Vec::new();
+        w.advance(10, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(4, 3), (4, 6)]);
+    }
+}

@@ -140,6 +140,34 @@ impl HistogramSnapshot {
         }
         Some(bucket_upper_bound(BUCKETS - 1))
     }
+
+    /// The standard tail report: p50/p99/p99.9 upper bounds plus mean and
+    /// count, or `None` when empty.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.quantile_upper_bound(0.5)?,
+            p99: self.quantile_upper_bound(0.99)?,
+            p999: self.quantile_upper_bound(0.999)?,
+            mean: self.mean(),
+            count: self.count,
+        })
+    }
+}
+
+/// p50/p99/p99.9 upper bounds of one histogram — the tail triple every
+/// server report quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median upper bound.
+    pub p50: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Samples recorded.
+    pub count: u64,
 }
 
 #[cfg(test)]

@@ -25,11 +25,15 @@
 mod event;
 mod hist;
 mod ring;
+mod shard;
 pub mod site;
 
 pub use event::{EventKind, EventSnapshot, KIND_COUNT};
-pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, BUCKETS};
+pub use hist::{
+    bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, Percentiles, BUCKETS,
+};
 pub use ring::{EventRing, RingSnapshot};
+pub use shard::{ShardGauges, ShardRow, ShardSet};
 
 use std::sync::OnceLock;
 use std::time::Instant;

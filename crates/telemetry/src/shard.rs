@@ -1,0 +1,209 @@
+//! Per-shard server gauges: connection, shed and timeout accounting.
+//!
+//! A reactor shard is a single-writer domain, so each shard gets one
+//! cache-padded block of counters it alone increments; any thread may
+//! snapshot. The set is allocated once for the run (no registration
+//! protocol) and snapshots fold into per-shard rows plus a totals row for
+//! the report and the degradation gates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use serde::{Deserialize, Serialize};
+
+/// One shard's counters. All monotonic except [`open_conns`], a gauge the
+/// shard stores outright.
+///
+/// [`open_conns`]: ShardGauges::open_conns
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    /// Connections accepted (handshake completed, state allocated).
+    pub accepted: AtomicU64,
+    /// Dials shed at the listen queue (accept backpressure).
+    pub shed_accepts: AtomicU64,
+    /// Handshakes refused by injected `net.accept` faults (dropped SYNs).
+    pub refused_accepts: AtomicU64,
+    /// Established connections evicted by load shedding (hard pressure).
+    pub shed_conns: AtomicU64,
+    /// Connections evicted by an idle/slow deadline.
+    pub timeouts: AtomicU64,
+    /// Reads that returned would-block (slowloris peers).
+    pub read_stalls: AtomicU64,
+    /// Requests fully served.
+    pub requests: AtomicU64,
+    /// Alloc-failure retries taken by the backoff path.
+    pub alloc_retries: AtomicU64,
+    /// Connections dropped because the retry budget ran out.
+    pub alloc_drops: AtomicU64,
+    /// Live connections on the shard (gauge).
+    pub open_conns: AtomicU64,
+}
+
+impl ShardGauges {
+    /// Bumps a counter by one (all counters are relaxed; single writer).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores the live-connection gauge.
+    pub fn set_open(&self, n: u64) {
+        self.open_conns.store(n, Ordering::Relaxed);
+    }
+
+    /// Reads one shard's counters into a row.
+    pub fn snapshot(&self) -> ShardRow {
+        ShardRow {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed_accepts: self.shed_accepts.load(Ordering::Relaxed),
+            refused_accepts: self.refused_accepts.load(Ordering::Relaxed),
+            shed_conns: self.shed_conns.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
+            alloc_drops: self.alloc_drops.load(Ordering::Relaxed),
+            open_conns: self.open_conns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's gauges (or the totals across
+/// shards).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRow {
+    /// See [`ShardGauges::accepted`].
+    pub accepted: u64,
+    /// See [`ShardGauges::shed_accepts`].
+    pub shed_accepts: u64,
+    /// See [`ShardGauges::refused_accepts`].
+    pub refused_accepts: u64,
+    /// See [`ShardGauges::shed_conns`].
+    pub shed_conns: u64,
+    /// See [`ShardGauges::timeouts`].
+    pub timeouts: u64,
+    /// See [`ShardGauges::read_stalls`].
+    pub read_stalls: u64,
+    /// See [`ShardGauges::requests`].
+    pub requests: u64,
+    /// See [`ShardGauges::alloc_retries`].
+    pub alloc_retries: u64,
+    /// See [`ShardGauges::alloc_drops`].
+    pub alloc_drops: u64,
+    /// See [`ShardGauges::open_conns`].
+    pub open_conns: u64,
+}
+
+impl ShardRow {
+    /// Adds `other` into `self`, field-wise (gauges sum too: the total
+    /// open-connection count is the sum of per-shard gauges).
+    pub fn absorb(&mut self, other: &ShardRow) {
+        self.accepted += other.accepted;
+        self.shed_accepts += other.shed_accepts;
+        self.refused_accepts += other.refused_accepts;
+        self.shed_conns += other.shed_conns;
+        self.timeouts += other.timeouts;
+        self.read_stalls += other.read_stalls;
+        self.requests += other.requests;
+        self.alloc_retries += other.alloc_retries;
+        self.alloc_drops += other.alloc_drops;
+        self.open_conns += other.open_conns;
+    }
+
+    /// Everything shed or evicted rather than served: the "not panicked,
+    /// counted" number the overload gate checks.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_accepts + self.shed_conns + self.timeouts + self.alloc_drops
+    }
+}
+
+/// The per-shard gauge set for one server run.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<CachePadded<ShardGauges>>,
+}
+
+impl ShardSet {
+    /// Allocates gauges for `nshards` shards.
+    pub fn new(nshards: usize) -> Self {
+        Self {
+            shards: (0..nshards)
+                .map(|_| CachePadded::new(ShardGauges::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The gauge block for shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard(&self, index: usize) -> &ShardGauges {
+        &self.shards[index]
+    }
+
+    /// Per-shard rows in shard order.
+    pub fn rows(&self) -> Vec<ShardRow> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Sum of all shards' rows.
+    pub fn totals(&self) -> ShardRow {
+        let mut total = ShardRow::default();
+        for shard in &self.shards {
+            total.absorb(&shard.snapshot());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_shards() {
+        let set = ShardSet::new(3);
+        for (i, n) in [(0usize, 2u64), (1, 3), (2, 5)] {
+            let g = set.shard(i);
+            for _ in 0..n {
+                ShardGauges::bump(&g.accepted);
+            }
+            g.set_open(n);
+            ShardGauges::bump(&g.shed_accepts);
+        }
+        let totals = set.totals();
+        assert_eq!(totals.accepted, 10);
+        assert_eq!(totals.open_conns, 10);
+        assert_eq!(totals.shed_accepts, 3);
+        assert_eq!(set.rows().len(), 3);
+        assert_eq!(set.rows()[2].accepted, 5);
+    }
+
+    #[test]
+    fn total_shed_counts_every_non_served_path() {
+        let mut row = ShardRow {
+            shed_accepts: 1,
+            shed_conns: 2,
+            timeouts: 3,
+            alloc_drops: 4,
+            ..ShardRow::default()
+        };
+        assert_eq!(row.total_shed(), 10);
+        let other = ShardRow {
+            timeouts: 1,
+            ..ShardRow::default()
+        };
+        row.absorb(&other);
+        assert_eq!(row.total_shed(), 11);
+    }
+}

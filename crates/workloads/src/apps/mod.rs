@@ -13,11 +13,13 @@ mod apache;
 mod netperf;
 mod pgbench;
 mod postmark;
+mod server;
 
 pub use apache::run_apache;
 pub use netperf::run_netperf;
 pub use pgbench::run_pgbench;
 pub use postmark::run_postmark;
+pub use server::{run_server, ServerParams, ServerReport};
 
 use crate::report::AppComparison;
 use crate::AllocatorKind;

@@ -1,0 +1,1397 @@
+//! Sharded multi-reactor server workload: production-shaped traffic with
+//! overload protection and gating graceful-degradation checks.
+//!
+//! This is the ROADMAP's million-connection scenario. N reactor shards
+//! (one thread each) drive a simulated epoll loop over a large population
+//! of concurrent connections on [`pbs_simnet::ShardedNet`]; every piece of
+//! per-connection server state — the transport's sock/filp/selinux
+//! objects, a parse-state object, a parse buffer, per-request scratch —
+//! is allocated through the Prudence or SLUB caches, and connection
+//! teardown frees through `free_deferred`, exactly as kernel connection
+//! teardown defers through RCU.
+//!
+//! The run moves through phases:
+//!
+//! 1. **Establish** — dial/accept until the target population is live.
+//! 2. **Baseline** — a Zipfian request mix over the open connections.
+//! 3. **Storm** — the DoS burst: the traffic engine over-dials the listen
+//!    queues (beyond backlog capacity), mixes in slowloris attackers that
+//!    accept and then never complete a request, churns established
+//!    connections, and (optionally) parks one reactor shard inside a
+//!    read-side critical section for the whole storm — the stalled-reader
+//!    contrast from the reclamation-backend matrix, now embedded in a
+//!    live server.
+//! 4. **Recovery** — the attack stops; deadlines evict the attackers, the
+//!    dial pump restores the population, and service must return to
+//!    baseline.
+//!
+//! Overload protection is layered the way real servers do it:
+//!
+//! * **accept backpressure** — the bounded per-shard listen queue sheds
+//!   dials beyond capacity before any allocation happens;
+//! * **timeout wheels** — every connection carries an idle (honest) or
+//!   hard request (attacker/slow-read) deadline on a per-shard
+//!   [`TimerWheel`](pbs_simnet::TimerWheel); expiry evicts;
+//! * **retry with backoff** — transient allocation failures are retried a
+//!   bounded number of times with exponential backoff, each attempt
+//!   re-entering the allocator's staged OOM recovery ladder underneath;
+//! * **load shedding** — when any workload cache reports hard pressure
+//!   (`pressure_level == 2`, the PR 5 deferred-backlog watermark), shards
+//!   stop accepting, drain their listen queues unserved and evict idle
+//!   connections until pressure recedes;
+//! * **connection cap** — a shard never holds more than
+//!   `max_conns_factor ×` its share of the target population.
+//!
+//! Degradation is *gating*: [`ServerReport::violations`] is empty only if
+//! p99.9 alloc-path latency stayed under the bound, overload was shed and
+//! counted rather than panicked, the garbage bound held under the robust
+//! reclamation backends while a shard was parked, service recovered to
+//! baseline after the storm, and teardown returned to
+//! `deferred_outstanding == 0` with every page back at the allocator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pbs_alloc_api::{ObjPtr, ObjectAllocator};
+use pbs_fault::{site, FaultInjector, Schedule};
+use pbs_rcu::reclaim::{ReclaimBackend, ReclaimConfig, ReclaimStats};
+use pbs_rcu::RcuConfig;
+use pbs_simnet::{ConnId, NetError, NetShard, ShardConfig, ShardedNet};
+use pbs_slub::SlubTuning;
+use pbs_telemetry::{
+    bucket_index, HistogramSnapshot, Percentiles, ShardGauges, ShardRow, ShardSet, BUCKETS,
+};
+use prudence::PrudenceConfig;
+
+use crate::{AllocatorKind, Testbed};
+
+/// Parse-state object per connection (request line, header cursor).
+const CONN_STATE_SIZE: usize = 192;
+/// Per-connection parse buffer.
+const PARSE_BUF_SIZE: usize = 512;
+/// Per-request scratch object (response head, iovec stand-in).
+const SCRATCH_SIZE: usize = 256;
+
+/// Run phases, stored in one shared atomic.
+const PHASE_ESTABLISH: u8 = 0;
+const PHASE_BASELINE: u8 = 1;
+const PHASE_STORM: u8 = 2;
+const PHASE_RECOVERY: u8 = 3;
+const PHASE_SHUTDOWN: u8 = 4;
+
+/// Dial cookies: what kind of client is knocking.
+const COOKIE_HONEST: u64 = 0;
+const COOKIE_ATTACKER: u64 = 1;
+
+/// Parameters for one server run.
+#[derive(Debug, Clone)]
+pub struct ServerParams {
+    /// Reactor shards (threads; also the testbed CPU-slot count).
+    pub shards: usize,
+    /// Target concurrent connections across all shards.
+    pub connections: usize,
+    /// Seed for the fault plan and every traffic RNG.
+    pub seed: u64,
+    /// Baseline-phase length.
+    pub baseline_ms: u64,
+    /// Storm-phase length.
+    pub storm_ms: u64,
+    /// Recovery-phase length.
+    pub recovery_ms: u64,
+    /// Zipf catalog size (distinct request keys).
+    pub keys: usize,
+    /// Zipf exponent (≈1.1 is classic web-trace shape).
+    pub zipf_s: f64,
+    /// Per-shard listen-queue capacity.
+    pub backlog_cap: usize,
+    /// Accepts per reactor iteration.
+    pub accept_budget: usize,
+    /// Request-service attempts per reactor iteration.
+    pub request_budget: usize,
+    /// Honest connections churned (closed + re-dialed) per storm
+    /// iteration per shard.
+    pub churn_per_iter: usize,
+    /// Idle deadline for honest connections (refreshed on activity).
+    pub idle_timeout_ms: u64,
+    /// Hard request deadline for connections that never complete one
+    /// (slowloris eviction).
+    pub slow_deadline_ms: u64,
+    /// Fraction of storm dials that are slowloris attackers.
+    pub attacker_fraction: f64,
+    /// Probability an accept is refused by the `net.accept` fault site.
+    pub accept_fault_p: f64,
+    /// Probability a read stalls via the `net.read_stall` fault site.
+    pub read_stall_fault_p: f64,
+    /// Probability of an injected OOM per slab-grow attempt (exercises
+    /// the retry-with-backoff path; 0 leaves allocation failure to any
+    /// real memory limit).
+    pub grow_fault_p: f64,
+    /// Bounded retries per allocation before the connection is dropped.
+    pub alloc_retry_budget: u32,
+    /// Park the last shard in a read-side critical section for the whole
+    /// storm (the stalled reader the robust backends must tolerate).
+    pub stalled_shard: bool,
+    /// Hard page-allocator limit; `None` for uncapped runs.
+    pub limit_bytes: Option<usize>,
+    /// Reclamation backend override; `None` honours `PBS_RECLAIM`.
+    pub reclaim: Option<ReclaimBackend>,
+    /// Garbage bound (deferred objects outstanding, sampled during the
+    /// storm) the robust backends must hold with a shard parked.
+    pub garbage_bound: usize,
+    /// Require the epoch backend to *exceed* the garbage bound in the
+    /// same position (the documented contrast; needs storm churn high
+    /// enough to be meaningful, so off by default at test scale).
+    pub require_epoch_contrast: bool,
+    /// p99.9 bound on the alloc-path latency histogram, in nanoseconds.
+    /// Generous by default: on an oversubscribed CI box a timed window
+    /// can absorb a scheduler timeslice, and the gate exists to catch
+    /// wedges (seconds), not preemption (tens of milliseconds).
+    pub p999_alloc_bound_ns: u64,
+    /// Cache pressure watermarks (soft, hard) applied to both allocator
+    /// tunings; `None` keeps allocator defaults. Tests lower these to
+    /// make the load-shedding trip reachable at small scale.
+    pub pressure_watermarks: Option<(usize, usize)>,
+    /// A shard stops accepting once it holds `max_conns_factor ×` its
+    /// share of the target population.
+    pub max_conns_factor: usize,
+    /// Memory-recovery gate: once reclamation catches up after the storm,
+    /// used bytes must be at most this multiple of the established
+    /// baseline. Not 1.0 — randomly evicting half the storm peak leaves a
+    /// survivor on almost every slab, and that fragmentation is real
+    /// server behaviour, not a leak (the teardown gate still demands an
+    /// exact return to zero, and a true leak compounds far past any small
+    /// constant).
+    pub recovery_factor: f64,
+    /// Cap on the establish phase before the run is declared failed.
+    pub establish_timeout: Duration,
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            connections: 100_000,
+            seed: 1,
+            baseline_ms: 200,
+            storm_ms: 400,
+            recovery_ms: 400,
+            keys: 256,
+            zipf_s: 1.1,
+            backlog_cap: 1024,
+            accept_budget: 512,
+            request_budget: 128,
+            churn_per_iter: 64,
+            idle_timeout_ms: 150,
+            slow_deadline_ms: 60,
+            attacker_fraction: 0.5,
+            accept_fault_p: 0.002,
+            read_stall_fault_p: 0.01,
+            grow_fault_p: 0.0,
+            alloc_retry_budget: 6,
+            stalled_shard: true,
+            limit_bytes: None,
+            reclaim: None,
+            garbage_bound: 4096,
+            require_epoch_contrast: false,
+            p999_alloc_bound_ns: 1_000_000_000,
+            pressure_watermarks: None,
+            max_conns_factor: 2,
+            recovery_factor: 4.0,
+            establish_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ServerParams {
+    /// Small-scale parameters for tests and the example: two shards, a
+    /// few thousand connections, sub-second phases.
+    pub fn smoke() -> Self {
+        Self {
+            shards: 2,
+            connections: 3_000,
+            baseline_ms: 60,
+            storm_ms: 150,
+            recovery_ms: 200,
+            backlog_cap: 256,
+            accept_budget: 128,
+            churn_per_iter: 32,
+            idle_timeout_ms: 80,
+            slow_deadline_ms: 40,
+            establish_timeout: Duration::from_secs(20),
+            ..Self::default()
+        }
+    }
+
+    /// Rescales deadlines to the connection population. The Zipf service
+    /// loop revisits a given connection roughly every `population /
+    /// (shards * request_budget)` iterations, so past ~20k connections a
+    /// sub-second idle deadline expires before the refresh arrives and
+    /// honest connections are mass-evicted at the accept-rate x timeout
+    /// equilibrium — the population can never hold its target. Real
+    /// servers at that scale run idle timeouts of minutes; here "longer
+    /// than the whole run" models the same regime, while the slowloris
+    /// deadline (`slow_deadline_ms`) keeps the timer wheel's eviction
+    /// path exercised. The budget includes the worst-case establish
+    /// window: deadlines armed while the population is still being
+    /// built must not come due mid-phase, or early-established
+    /// connections are reaped while the late ones are still dialing.
+    /// Small runs are returned unchanged so tests still cover
+    /// honest-idle eviction.
+    #[must_use]
+    pub fn scaled_for_population(mut self) -> Self {
+        if self.connections > 20_000 {
+            let run_ms = self.baseline_ms + self.storm_ms + self.recovery_ms;
+            let establish_ms = self.establish_timeout.as_millis() as u64;
+            self.idle_timeout_ms = self.idle_timeout_ms.max(establish_ms + 2 * run_ms);
+        }
+        self
+    }
+}
+
+/// Outcome of one server run; `violations` is empty iff every degradation
+/// gate held.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Allocator label.
+    pub allocator: String,
+    /// Reclamation backend label.
+    pub reclaim_backend: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Reactor shards.
+    pub shards: usize,
+    /// Target concurrent connections.
+    pub target_connections: usize,
+    /// Peak live connections observed.
+    pub established_peak: usize,
+    /// Live connections at the end of recovery.
+    pub open_at_end: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Totals across shards over the whole run.
+    pub totals: ShardRow,
+    /// Per-shard rows at the end of the run.
+    pub per_shard: Vec<ShardRow>,
+    /// Counter deltas for the baseline phase.
+    pub baseline: ShardRow,
+    /// Counter deltas for the storm phase.
+    pub storm: ShardRow,
+    /// Counter deltas for the recovery phase.
+    pub recovery: ShardRow,
+    /// Alloc-path latency percentiles (state/buffer/scratch allocations,
+    /// including retries and ladder climbs).
+    pub alloc_latency: Option<Percentiles>,
+    /// Grace-period latency percentiles from the RCU domain's telemetry
+    /// (recorded by the prober's blocking `synchronize` calls).
+    pub gp_latency: Option<Percentiles>,
+    /// The full alloc-path histogram, for trajectory files.
+    pub alloc_hist: HistogramSnapshot,
+    /// Whether any cache reported hard pressure during the run.
+    pub pressure_hard_seen: bool,
+    /// Maximum deferred objects outstanding sampled during the storm.
+    pub max_garbage_storm: usize,
+    /// The bound robust backends are held to.
+    pub garbage_bound: usize,
+    /// Whether a shard was parked through the storm.
+    pub stalled_shard: bool,
+    /// RCU stall-watchdog warnings (≥1 expected when a shard is parked).
+    pub stall_warnings: u64,
+    /// Expedited grace periods driven during the run.
+    pub expedited_gps: u64,
+    /// Epoch advances that used the membarrier protocol.
+    pub membarrier_advances: u64,
+    /// Epoch advances that used the portable fallback-fence protocol.
+    pub fallback_fence_advances: u64,
+    /// Handshakes the `net.accept` fault site refused.
+    pub injected_accept_refusals: u64,
+    /// Reads the `net.read_stall` fault site stalled.
+    pub injected_read_stalls: u64,
+    /// Slab grows the allocator fault site failed.
+    pub injected_oom: u64,
+    /// Stall-blame records captured during the run.
+    pub blame: Vec<pbs_rcu::BlameReport>,
+    /// Reclamation-domain counters at the end of the run.
+    pub reclaim: ReclaimStats,
+    /// Page-allocator bytes used once the population was established.
+    pub baseline_used_bytes: usize,
+    /// Page-allocator bytes used at the end of recovery.
+    pub recovered_used_bytes: usize,
+    /// Peak page-allocator bytes over the run.
+    pub peak_bytes: usize,
+    /// Deferred objects outstanding after the final quiesce (must be 0).
+    pub deferred_outstanding_end: usize,
+    /// Page-allocator bytes still used after full teardown (must be 0).
+    pub used_bytes_after_teardown: usize,
+    /// Reactor panics (must be 0).
+    pub panics: u64,
+    /// Gate violations; empty on a passing run.
+    pub violations: Vec<String>,
+}
+
+impl ServerReport {
+    /// Whether every degradation gate held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human summary.
+    pub fn render(&self) -> String {
+        let alloc = self
+            .alloc_latency
+            .map(|p| format!("p50 {} / p99 {} / p99.9 {} ns", p.p50, p.p99, p.p999))
+            .unwrap_or_else(|| "n/a".to_owned());
+        let gp = self
+            .gp_latency
+            .map(|p| format!("p50 {} / p99 {} / p99.9 {} ns", p.p50, p.p99, p.p999))
+            .unwrap_or_else(|| "n/a".to_owned());
+        format!(
+            "server[{} {} seed={} shards={}]: {} conns peak (target {}), \
+             {} requests, shed {} accepts + {} conns, {} timeouts, {} read stalls, \
+             {} retries/{} drops, alloc {alloc}, gp {gp}, \
+             garbage max {}/{} bound, {} warns, {} expedited, \
+             mem {}/{} KiB baseline/recovered (peak {} KiB), {} panics — {}",
+            self.allocator,
+            self.reclaim_backend,
+            self.seed,
+            self.shards,
+            self.established_peak,
+            self.target_connections,
+            self.totals.requests,
+            self.totals.shed_accepts,
+            self.totals.shed_conns,
+            self.totals.timeouts,
+            self.totals.read_stalls,
+            self.totals.alloc_retries,
+            self.totals.alloc_drops,
+            self.max_garbage_storm,
+            self.garbage_bound,
+            self.stall_warnings,
+            self.expedited_gps,
+            self.baseline_used_bytes >> 10,
+            self.recovered_used_bytes >> 10,
+            self.peak_bytes >> 10,
+            self.panics,
+            if self.passed() { "OK" } else { "FAILED" },
+        )
+    }
+
+    /// One-line command reproducing this run.
+    pub fn replay_command(&self) -> String {
+        format!(
+            "cargo run --release -p pbs-workloads --bin server_bench -- \
+             --seed {} --shards {} --connections {} --allocator {} --reclaim {}",
+            self.seed, self.shards, self.target_connections, self.allocator, self.reclaim_backend
+        )
+    }
+}
+
+/// Precomputed-CDF Zipf sampler (the `rand` shim has no Zipf
+/// distribution). Rank 0 is the most popular key.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Worker-local latency histogram: same buckets as
+/// [`pbs_telemetry::LogHistogram`] but unconditionally recorded (server
+/// gates must not depend on the global trace toggle) and unshared (no
+/// atomics on the reactor hot path).
+#[derive(Clone)]
+struct LatHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LatHist {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LatHist {
+    #[inline]
+    fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// One established connection's server-side state.
+struct ConnEntry {
+    conn: ConnId,
+    state: ObjPtr,
+    buf: ObjPtr,
+    attacker: bool,
+    deadline: u64,
+}
+
+/// Per-shard reactor bookkeeping: slab-style entry vector plus an id
+/// index, so random service picks are O(1) and closes are swap-remove.
+#[derive(Default)]
+struct ConnTable {
+    entries: Vec<ConnEntry>,
+    index: HashMap<u64, usize>,
+}
+
+impl ConnTable {
+    fn insert(&mut self, e: ConnEntry) {
+        self.index.insert(e.conn.0, self.entries.len());
+        self.entries.push(e);
+    }
+
+    fn remove(&mut self, conn: u64) -> Option<ConnEntry> {
+        let i = self.index.remove(&conn)?;
+        let e = self.entries.swap_remove(i);
+        if let Some(moved) = self.entries.get(i) {
+            self.index.insert(moved.conn.0, i);
+        }
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Nanosecond clock for latency windows.
+#[inline]
+fn nanos(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Bounded retry with exponential backoff around one allocation. Each
+/// attempt re-enters the allocator (whose staged OOM ladder runs
+/// underneath); every attempt's latency — success or failure — lands in
+/// the alloc-path histogram the p99.9 gate reads.
+fn alloc_with_retry(
+    cache: &Arc<dyn ObjectAllocator>,
+    gauges: &ShardGauges,
+    budget: u32,
+    hist: &mut LatHist,
+) -> Option<ObjPtr> {
+    let mut backoff_us = 20u64;
+    for attempt in 0..=budget {
+        let t0 = Instant::now();
+        match cache.allocate() {
+            Ok(p) => {
+                hist.record(nanos(t0));
+                return Some(p);
+            }
+            Err(_) => {
+                hist.record(nanos(t0));
+                if attempt == budget {
+                    break;
+                }
+                ShardGauges::bump(&gauges.alloc_retries);
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(2_000);
+            }
+        }
+    }
+    None
+}
+
+/// Closes one connection and defers its server-side state, as connection
+/// teardown does in the kernel.
+fn close_entry(
+    shard: &NetShard,
+    state_cache: &Arc<dyn ObjectAllocator>,
+    buf_cache: &Arc<dyn ObjectAllocator>,
+    e: ConnEntry,
+) {
+    let _ = shard.close(e.conn);
+    // SAFETY: the entry was removed from the table, so this reactor owns
+    // the objects; pre-existing RCU readers may still inspect them until
+    // the grace period ends, which is exactly what free_deferred is for.
+    unsafe {
+        state_cache.free_deferred(e.state);
+        buf_cache.free_deferred(e.buf);
+    }
+}
+
+/// Runs the server scenario on one allocator and checks every gate.
+#[allow(clippy::too_many_lines)]
+pub fn run_server(kind: AllocatorKind, params: &ServerParams) -> ServerReport {
+    let faults = Arc::new(FaultInjector::new(params.seed));
+    if params.accept_fault_p > 0.0 {
+        faults.schedule(site::NET_ACCEPT, Schedule::Probability(params.accept_fault_p));
+    }
+    if params.read_stall_fault_p > 0.0 {
+        faults.schedule(
+            site::NET_READ_STALL,
+            Schedule::Probability(params.read_stall_fault_p),
+        );
+    }
+    if params.grow_fault_p > 0.0 {
+        let grow_site = match kind {
+            AllocatorKind::Slub => site::SLUB_GROW,
+            AllocatorKind::Prudence => site::PRUDENCE_GROW,
+        };
+        faults.schedule(grow_site, Schedule::Probability(params.grow_fault_p));
+    }
+
+    let backend = params.reclaim.unwrap_or_else(ReclaimBackend::from_env);
+    let robust = backend != ReclaimBackend::Epoch;
+    // Robust backends get the aggressive tuning so the garbage bound is
+    // reachable within sub-second storm phases (as in the chaos harness).
+    let reclaim_config = if robust {
+        ReclaimConfig::aggressive()
+    } else {
+        ReclaimConfig::default()
+    };
+
+    // The watchdog threshold sits well under the storm length so a parked
+    // reactor is blamed while the storm is still running.
+    let stall_threshold = Duration::from_millis((params.storm_ms / 4).clamp(5, 50));
+    let rcu_config = RcuConfig::eager().with_stall_threshold(stall_threshold);
+
+    let mut slub_tuning = None;
+    let mut prudence_config = None;
+    if let Some((soft, hard)) = params.pressure_watermarks {
+        slub_tuning = Some(SlubTuning {
+            soft_watermark: soft,
+            hard_watermark: hard,
+            ..SlubTuning::default()
+        });
+        prudence_config = Some(PrudenceConfig::new(params.shards).with_watermarks(soft, hard));
+    }
+
+    let bed = Testbed::new_tuned(
+        kind,
+        params.shards,
+        rcu_config,
+        params.limit_bytes,
+        Some(Arc::clone(&faults)),
+        slub_tuning,
+        prudence_config,
+        Some((backend, reclaim_config)),
+    );
+    let state_cache = bed.create_cache("conn_state", CONN_STATE_SIZE);
+    let buf_cache = bed.create_cache("parse_buf", PARSE_BUF_SIZE);
+    let scratch_cache = bed.create_cache("req_scratch", SCRATCH_SIZE);
+
+    let nshards = params.shards.max(1);
+    let target_per_shard = params.connections.div_ceil(nshards);
+    let max_conns = target_per_shard * params.max_conns_factor.max(1);
+    let shard_config = ShardConfig {
+        backlog_cap: params.backlog_cap,
+        conn_buckets: (max_conns / 4).next_power_of_two().clamp(256, 1 << 18),
+        wheel_slots: 256,
+        wheel_granularity: (params.idle_timeout_ms / 128).max(1),
+    };
+    let net = ShardedNet::new(bed.factory(), nshards, shard_config, Some(Arc::clone(&faults)));
+    let gauges = ShardSet::new(nshards);
+    let zipf = Zipf::new(params.keys, params.zipf_s);
+
+    let phase = AtomicU8::new(PHASE_ESTABLISH);
+    // Published by the driver's sampler; read by every reactor to decide
+    // load shedding without each one snapshotting cache stats.
+    let pressure = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    let start = Instant::now();
+    let mut violations: Vec<String> = Vec::new();
+    let mut panics = 0u64;
+    let mut merged_hist = HistogramSnapshot::default();
+
+    // Phase-boundary snapshots taken by the driver.
+    let mut row_establish_end = ShardRow::default();
+    let mut row_baseline_end = ShardRow::default();
+    let mut row_storm_end = ShardRow::default();
+    let mut row_recovery_end = ShardRow::default();
+    let mut baseline_used_bytes = 0usize;
+    let mut recovered_used_bytes = 0usize;
+    let mut established_peak = 0usize;
+    let mut open_at_end = 0usize;
+    let mut max_garbage_storm = 0usize;
+    let mut pressure_hard_seen = false;
+
+    std::thread::scope(|s| {
+        // Grace-period prober: periodic blocking synchronize() calls both
+        // bound the deferred backlog and populate the gp_latency_ns
+        // histogram the report quotes. Under an epoch-backend storm with
+        // a parked shard, one of these calls blocks for most of the storm
+        // — that tail is the contrast the report exists to show.
+        let gp_prober = {
+            let rcu = Arc::clone(bed.rcu());
+            let stop = &stop;
+            std::thread::Builder::new()
+                .name("server-gp-prober".to_owned())
+                .spawn_scoped(s, move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        rcu.synchronize();
+                        std::thread::sleep(Duration::from_millis(3));
+                    }
+                })
+                .expect("spawn gp prober")
+        };
+
+        // Reactor shards.
+        let mut reactors = Vec::new();
+        for shard_idx in 0..nshards {
+            let shard = net.shard(shard_idx);
+            let shard_gauges = gauges.shard(shard_idx);
+            let rcu = Arc::clone(bed.rcu());
+            let state_cache = &state_cache;
+            let buf_cache = &buf_cache;
+            let scratch_cache = &scratch_cache;
+            let zipf = &zipf;
+            let phase = &phase;
+            let pressure = &pressure;
+            let is_stalled = params.stalled_shard && shard_idx == nshards - 1;
+            let handle = std::thread::Builder::new()
+                .name(format!("server-shard-{shard_idx}"))
+                .spawn_scoped(s, move || -> LatHist {
+                    let reader = rcu.register();
+                    let mut rng = StdRng::seed_from_u64(params.seed ^ ((shard_idx as u64) << 17));
+                    let mut hist = LatHist::default();
+                    let mut table = ConnTable::default();
+                    let mut expired: Vec<(u64, u64)> = Vec::new();
+                    let mut parked_already = false;
+                    loop {
+                        let ph = phase.load(Ordering::Acquire);
+                        if ph == PHASE_SHUTDOWN {
+                            break;
+                        }
+                        let now_ms = start.elapsed().as_millis() as u64;
+
+                        // The deliberately-stalled reader shard: one
+                        // continuous read-side pin across the storm. Its
+                        // connections go unserviced; reclamation must
+                        // cope (robust backends) or visibly stall and be
+                        // blamed (epoch).
+                        if ph == PHASE_STORM && is_stalled && !parked_already {
+                            let guard = reader.read_lock();
+                            while phase.load(Ordering::Acquire) == PHASE_STORM {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            drop(guard);
+                            parked_already = true;
+                            continue;
+                        }
+
+                        let hard_pressure = pressure.load(Ordering::Relaxed) >= 2;
+
+                        // 1. Dial pump: the traffic engine knocking on
+                        // this shard's listener.
+                        match ph {
+                            PHASE_STORM => {
+                                // DoS burst: over-dial the listen queue
+                                // (backpressure must shed the excess) with
+                                // a slowloris mix.
+                                let dials = params.backlog_cap + params.backlog_cap / 4;
+                                for _ in 0..dials {
+                                    let cookie = if rng.gen_bool(params.attacker_fraction) {
+                                        COOKIE_ATTACKER
+                                    } else {
+                                        COOKIE_HONEST
+                                    };
+                                    if shard.dial(cookie).is_err() {
+                                        ShardGauges::bump(&shard_gauges.shed_accepts);
+                                    }
+                                }
+                                // Churn storm: close established honest
+                                // connections (their teardown defers) and
+                                // let the pump re-dial them later.
+                                for _ in 0..params.churn_per_iter {
+                                    if table.len() == 0 {
+                                        break;
+                                    }
+                                    let i = rng.gen_range(0..table.entries.len());
+                                    if table.entries[i].attacker {
+                                        continue;
+                                    }
+                                    let conn = table.entries[i].conn.0;
+                                    if let Some(e) = table.remove(conn) {
+                                        close_entry(shard, state_cache, buf_cache, e);
+                                    }
+                                }
+                            }
+                            _ => {
+                                // Steady phases: restore the population,
+                                // paced inside the backlog so a healthy
+                                // server never sheds its own dials.
+                                let deficit = target_per_shard.saturating_sub(table.len());
+                                let free = params.backlog_cap.saturating_sub(shard.backlog_len());
+                                for _ in 0..deficit.min(free) {
+                                    if shard.dial(COOKIE_HONEST).is_err() {
+                                        ShardGauges::bump(&shard_gauges.shed_accepts);
+                                    }
+                                }
+                            }
+                        }
+
+                        // 2. Accept — or shed, when pressure is hard or
+                        // the shard is at its connection cap.
+                        if hard_pressure || table.len() >= max_conns {
+                            while shard.shed_dial().is_some() {
+                                ShardGauges::bump(&shard_gauges.shed_accepts);
+                            }
+                        } else {
+                            for _ in 0..params.accept_budget {
+                                match shard.accept() {
+                                    None => break,
+                                    Some(Err(NetError::Refused)) => {
+                                        ShardGauges::bump(&shard_gauges.refused_accepts);
+                                    }
+                                    Some(Err(_)) => {
+                                        ShardGauges::bump(&shard_gauges.alloc_drops);
+                                    }
+                                    Some(Ok((conn, cookie))) => {
+                                        let state = alloc_with_retry(
+                                            state_cache,
+                                            shard_gauges,
+                                            params.alloc_retry_budget,
+                                            &mut hist,
+                                        );
+                                        let buf = alloc_with_retry(
+                                            buf_cache,
+                                            shard_gauges,
+                                            params.alloc_retry_budget,
+                                            &mut hist,
+                                        );
+                                        match (state, buf) {
+                                            (Some(state), Some(buf)) => {
+                                                // SAFETY: fresh exclusive
+                                                // objects, sized above.
+                                                unsafe {
+                                                    state.as_ptr().cast::<u64>().write(conn.0);
+                                                    buf.as_ptr().cast::<u64>().write(conn.0);
+                                                }
+                                                let attacker = cookie == COOKIE_ATTACKER;
+                                                let deadline = now_ms
+                                                    + if attacker {
+                                                        params.slow_deadline_ms
+                                                    } else {
+                                                        params.idle_timeout_ms
+                                                    };
+                                                shard.arm_deadline(conn, deadline);
+                                                table.insert(ConnEntry {
+                                                    conn,
+                                                    state,
+                                                    buf,
+                                                    attacker,
+                                                    deadline,
+                                                });
+                                                ShardGauges::bump(&shard_gauges.accepted);
+                                            }
+                                            (state, buf) => {
+                                                // Retry budget exhausted:
+                                                // drop the connection,
+                                                // never panic.
+                                                // SAFETY: never published.
+                                                unsafe {
+                                                    if let Some(p) = state {
+                                                        state_cache.free(p);
+                                                    }
+                                                    if let Some(p) = buf {
+                                                        buf_cache.free(p);
+                                                    }
+                                                }
+                                                let _ = shard.close(conn);
+                                                ShardGauges::bump(&shard_gauges.alloc_drops);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+
+                        // 3. Service the Zipfian request mix — unless
+                        // hard pressure calls for evicting idle
+                        // connections instead.
+                        if hard_pressure {
+                            for _ in 0..params.request_budget.min(table.len()) {
+                                let Some(e) = table.entries.last() else { break };
+                                let conn = e.conn.0;
+                                if let Some(e) = table.remove(conn) {
+                                    close_entry(shard, state_cache, buf_cache, e);
+                                    ShardGauges::bump(&shard_gauges.shed_conns);
+                                }
+                            }
+                        } else if ph != PHASE_ESTABLISH {
+                            for _ in 0..params.request_budget {
+                                if table.len() == 0 {
+                                    break;
+                                }
+                                let i = rng.gen_range(0..table.entries.len());
+                                if table.entries[i].attacker {
+                                    // Slowloris: never completes a
+                                    // request; just sits on its deadline.
+                                    continue;
+                                }
+                                let conn = table.entries[i].conn;
+                                let key = zipf.sample(rng.gen::<f64>());
+                                // Popular keys are small cached objects;
+                                // the long tail serves bigger documents.
+                                let bytes = 64usize << (key % 5).min(4);
+                                let scratch = alloc_with_retry(
+                                    scratch_cache,
+                                    shard_gauges,
+                                    params.alloc_retry_budget,
+                                    &mut hist,
+                                );
+                                let Some(scratch) = scratch else { continue };
+                                // SAFETY: fresh exclusive object.
+                                unsafe {
+                                    std::ptr::write_bytes(scratch.as_ptr(), 0x5A, 64);
+                                    scratch_cache.free(scratch);
+                                }
+                                match shard.net().request_response(conn, bytes) {
+                                    Ok(()) => {
+                                        ShardGauges::bump(&shard_gauges.requests);
+                                        let deadline = now_ms + params.idle_timeout_ms;
+                                        table.entries[i].deadline = deadline;
+                                        shard.arm_deadline(conn, deadline);
+                                    }
+                                    Err(NetError::WouldBlock) => {
+                                        // Peer stalled mid-read: count it
+                                        // and leave the deadline armed —
+                                        // persistent stalling is evicted,
+                                        // not waited on.
+                                        ShardGauges::bump(&shard_gauges.read_stalls);
+                                    }
+                                    Err(_) => {}
+                                }
+                            }
+                        }
+
+                        // 4. Deadline sweep: evict expired connections
+                        // (lazily-cancelled refreshes are skipped by the
+                        // deadline comparison).
+                        expired.clear();
+                        shard.poll_deadlines(now_ms, &mut expired);
+                        for &(conn, deadline) in &expired {
+                            let Some(&i) = table.index.get(&conn) else { continue };
+                            if table.entries[i].deadline != deadline {
+                                continue;
+                            }
+                            if ph == PHASE_ESTABLISH && !table.entries[i].attacker {
+                                // No request is serviced before establish
+                                // completes, so "idle" is meaningless here;
+                                // evicting would cap the population at the
+                                // accept-rate x timeout equilibrium and
+                                // large targets could never establish.
+                                let next = now_ms + params.idle_timeout_ms;
+                                table.entries[i].deadline = next;
+                                let conn = table.entries[i].conn;
+                                shard.arm_deadline(conn, next);
+                                continue;
+                            }
+                            if let Some(e) = table.remove(conn) {
+                                close_entry(shard, state_cache, buf_cache, e);
+                                ShardGauges::bump(&shard_gauges.timeouts);
+                            }
+                        }
+
+                        shard_gauges.set_open(table.len() as u64);
+                        std::thread::yield_now();
+                    }
+
+                    // Shutdown: drain everything still open.
+                    for e in std::mem::take(&mut table.entries) {
+                        close_entry(shard, state_cache, buf_cache, e);
+                    }
+                    shard_gauges.set_open(0);
+                    hist
+                })
+                .expect("spawn reactor shard");
+            reactors.push(handle);
+        }
+
+        // ---- Driver: phase clock + sampling. ----
+        let sample = |max_garbage: &mut usize,
+                      pressure_hard: &mut bool,
+                      established_peak: &mut usize,
+                      track_garbage: bool| {
+            let level = state_cache
+                .stats()
+                .pressure_level
+                .max(buf_cache.stats().pressure_level)
+                .max(scratch_cache.stats().pressure_level);
+            pressure.store(level, Ordering::Relaxed);
+            if level >= 2 {
+                *pressure_hard = true;
+            }
+            *established_peak = (*established_peak).max(net.connection_count());
+            if track_garbage {
+                let outstanding = state_cache.deferred_outstanding()
+                    + buf_cache.deferred_outstanding()
+                    + scratch_cache.deferred_outstanding()
+                    + net.deferred_outstanding();
+                *max_garbage = (*max_garbage).max(outstanding);
+            }
+        };
+        let pace = |ms: u64,
+                    max_garbage: &mut usize,
+                    pressure_hard: &mut bool,
+                    established_peak: &mut usize,
+                    track_garbage: bool| {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            while Instant::now() < deadline {
+                sample(max_garbage, pressure_hard, established_peak, track_garbage);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+
+        // Establish until the population is (nearly) at target.
+        let establish_deadline = Instant::now() + params.establish_timeout;
+        loop {
+            sample(
+                &mut max_garbage_storm,
+                &mut pressure_hard_seen,
+                &mut established_peak,
+                false,
+            );
+            let open = net.connection_count();
+            if open * 100 >= params.connections * 99 {
+                break;
+            }
+            if Instant::now() > establish_deadline {
+                violations.push(format!(
+                    "establish timed out: {open}/{} connections after {:?}",
+                    params.connections, params.establish_timeout
+                ));
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        baseline_used_bytes = bed.pages().used_bytes();
+        row_establish_end = gauges.totals();
+
+        phase.store(PHASE_BASELINE, Ordering::Release);
+        pace(
+            params.baseline_ms,
+            &mut max_garbage_storm,
+            &mut pressure_hard_seen,
+            &mut established_peak,
+            false,
+        );
+        row_baseline_end = gauges.totals();
+
+        phase.store(PHASE_STORM, Ordering::Release);
+        pace(
+            params.storm_ms,
+            &mut max_garbage_storm,
+            &mut pressure_hard_seen,
+            &mut established_peak,
+            true,
+        );
+        row_storm_end = gauges.totals();
+
+        phase.store(PHASE_RECOVERY, Ordering::Release);
+        pace(
+            params.recovery_ms,
+            &mut max_garbage_storm,
+            &mut pressure_hard_seen,
+            &mut established_peak,
+            false,
+        );
+        // The nominal window is a floor, not the verdict: refilling the
+        // post-storm deficit is accept-throughput-bound, so on a starved
+        // machine (CI sharing one core across every shard) the pumps may
+        // still be mid-refill when the window closes. Grant a bounded
+        // grace period for the population to come back; the recovery gate
+        // then judges what the server converged to, not scheduler luck.
+        let recovery_grace = Instant::now()
+            + Duration::from_millis(params.recovery_ms.max(100) * 9)
+                .min(Duration::from_secs(30));
+        while net.connection_count() * 100 < params.connections * 95
+            && Instant::now() < recovery_grace
+        {
+            sample(
+                &mut max_garbage_storm,
+                &mut pressure_hard_seen,
+                &mut established_peak,
+                false,
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        row_recovery_end = gauges.totals();
+        open_at_end = net.connection_count();
+        // Memory recovery is judged after reclamation catches up — under
+        // procrastinated reclamation the storm's deferred backlog drains
+        // lazily, so the gate measures the settled state, not the race
+        // between the sampler and the collector. Service is still up
+        // (reactors keep running) while these drains wait.
+        state_cache.quiesce();
+        buf_cache.quiesce();
+        scratch_cache.quiesce();
+        net.quiesce();
+        recovered_used_bytes = bed.pages().used_bytes();
+
+        phase.store(PHASE_SHUTDOWN, Ordering::Release);
+        for handle in reactors {
+            match handle.join() {
+                Ok(hist) => merged_hist.merge(&hist.snapshot()),
+                Err(_) => panics += 1,
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let _ = gp_prober.join();
+    });
+
+    // Everything is closed; drain the deferred backlog completely.
+    net.quiesce();
+    state_cache.quiesce();
+    buf_cache.quiesce();
+    scratch_cache.quiesce();
+
+    let deferred_outstanding_end = state_cache.deferred_outstanding()
+        + buf_cache.deferred_outstanding()
+        + scratch_cache.deferred_outstanding()
+        + net.deferred_outstanding();
+    let mut live_leaks = Vec::new();
+    for (name, stats) in net.stats() {
+        if stats.live_objects != 0 {
+            live_leaks.push(format!("{name}: {}", stats.live_objects));
+        }
+    }
+    for (name, cache) in [
+        ("conn_state", &state_cache),
+        ("parse_buf", &buf_cache),
+        ("req_scratch", &scratch_cache),
+    ] {
+        let live = cache.stats().live_objects;
+        if live != 0 {
+            live_leaks.push(format!("{name}: {live}"));
+        }
+    }
+
+    let rcu_stats = bed.rcu().stats();
+    let gp_latency = bed
+        .rcu()
+        .telemetry()
+        .histogram("gp_latency_ns")
+        .and_then(HistogramSnapshot::percentiles);
+    let blame = bed.rcu().blame_reports();
+    let reclaim = bed.reclaim_stats();
+    let peak_bytes = bed.pages().peak_bytes();
+
+    // Teardown: drop the net layer and caches, then every page must be
+    // back at the allocator.
+    drop(net);
+    drop(state_cache);
+    drop(buf_cache);
+    drop(scratch_cache);
+    let used_bytes_after_teardown = bed.pages().used_bytes();
+
+    let totals = gauges.totals();
+    let baseline = row_delta(&row_baseline_end, &row_establish_end);
+    let storm = row_delta(&row_storm_end, &row_baseline_end);
+    let recovery = row_delta(&row_recovery_end, &row_storm_end);
+    let alloc_latency = merged_hist.percentiles();
+
+    // ---- Degradation gates. ----
+    if panics != 0 {
+        violations.push(format!("{panics} reactor panics"));
+    }
+    if storm.shed_accepts == 0 {
+        violations.push("storm never tripped accept backpressure (shed_accepts == 0)".into());
+    }
+    if totals.timeouts == 0 {
+        violations.push("deadline wheel never evicted a connection (timeouts == 0)".into());
+    }
+    match alloc_latency {
+        None => violations.push("no alloc-path latency samples recorded".into()),
+        Some(p) => {
+            if p.p999 > params.p999_alloc_bound_ns {
+                violations.push(format!(
+                    "alloc-path p99.9 {} ns exceeds bound {} ns",
+                    p.p999, params.p999_alloc_bound_ns
+                ));
+            }
+        }
+    }
+    if params.stalled_shard {
+        if rcu_stats.stall_warnings == 0 {
+            violations.push("parked shard never tripped the stall watchdog".into());
+        }
+        if robust && max_garbage_storm > params.garbage_bound {
+            violations.push(format!(
+                "robust backend {backend:?} let garbage reach {max_garbage_storm} \
+                 (bound {}) with a shard parked",
+                params.garbage_bound
+            ));
+        }
+        if params.require_epoch_contrast
+            && !robust
+            && max_garbage_storm <= params.garbage_bound
+        {
+            violations.push(format!(
+                "epoch backend held garbage to {max_garbage_storm} (bound {}) — \
+                 the stalled-reader contrast went missing",
+                params.garbage_bound
+            ));
+        }
+    }
+    if recovery.requests == 0 {
+        violations.push("no requests served during recovery".into());
+    }
+    if open_at_end * 100 < params.connections * 90 {
+        violations.push(format!(
+            "service did not recover: {open_at_end}/{} connections at end",
+            params.connections
+        ));
+    }
+    let recovered_pressure = pressure.load(Ordering::Relaxed);
+    if recovered_pressure >= 2 {
+        violations.push(format!(
+            "pressure still hard ({recovered_pressure}) at the end of recovery"
+        ));
+    }
+    // The page-level baseline gate is the *baseline allocator's* contract:
+    // SLUB shrinks empty slabs back to the page allocator once the drain
+    // completes. Prudence deliberately retains latent slabs for reuse —
+    // holding pages after the storm is the procrastination under test, so
+    // its memory-recovery evidence is the drained deferred backlog and the
+    // exact teardown-to-zero gates instead.
+    // How fragmented the survivors end up is seed- and timing-dependent,
+    // so the bound is the looser of "factor × baseline" and "gave back at
+    // least half the storm overshoot" — either way a run that returns
+    // nothing (recovered ≈ peak) fails.
+    let recovery_bound = ((baseline_used_bytes as f64 * params.recovery_factor) as usize)
+        .max(baseline_used_bytes + (peak_bytes - baseline_used_bytes) / 2);
+    if kind == AllocatorKind::Slub && recovered_used_bytes > recovery_bound {
+        violations.push(format!(
+            "memory did not return to baseline: {recovered_used_bytes} used vs \
+             {baseline_used_bytes} baseline (bound {recovery_bound})"
+        ));
+    }
+    if deferred_outstanding_end != 0 {
+        violations.push(format!(
+            "{deferred_outstanding_end} deferred objects outstanding after quiesce"
+        ));
+    }
+    if !live_leaks.is_empty() {
+        violations.push(format!("live objects after teardown: {}", live_leaks.join(", ")));
+    }
+    if used_bytes_after_teardown != 0 {
+        violations.push(format!(
+            "{used_bytes_after_teardown} bytes still used after teardown"
+        ));
+    }
+    if let Some(limit) = params.limit_bytes {
+        if peak_bytes > limit {
+            violations.push(format!("peak {peak_bytes} exceeded limit {limit}"));
+        }
+    }
+
+    ServerReport {
+        allocator: kind.label().to_owned(),
+        reclaim_backend: format!("{backend}"),
+        seed: params.seed,
+        shards: nshards,
+        target_connections: params.connections,
+        established_peak,
+        open_at_end,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        totals,
+        per_shard: gauges.rows(),
+        baseline,
+        storm,
+        recovery,
+        alloc_latency,
+        gp_latency,
+        alloc_hist: merged_hist,
+        pressure_hard_seen,
+        max_garbage_storm,
+        garbage_bound: params.garbage_bound,
+        stalled_shard: params.stalled_shard,
+        stall_warnings: rcu_stats.stall_warnings,
+        expedited_gps: rcu_stats.expedited_gps,
+        membarrier_advances: rcu_stats.membarrier_advances,
+        fallback_fence_advances: rcu_stats.fallback_fence_advances,
+        injected_accept_refusals: faults.injected(site::NET_ACCEPT),
+        injected_read_stalls: faults.injected(site::NET_READ_STALL),
+        injected_oom: faults.injected(site::SLUB_GROW) + faults.injected(site::PRUDENCE_GROW),
+        blame,
+        reclaim,
+        baseline_used_bytes,
+        recovered_used_bytes,
+        peak_bytes,
+        deferred_outstanding_end,
+        used_bytes_after_teardown,
+        panics,
+        violations,
+    }
+}
+
+/// Counter delta between two totals rows; the open-connection gauge keeps
+/// the later value.
+fn row_delta(now: &ShardRow, then: &ShardRow) -> ShardRow {
+    ShardRow {
+        accepted: now.accepted - then.accepted,
+        shed_accepts: now.shed_accepts - then.shed_accepts,
+        refused_accepts: now.refused_accepts - then.refused_accepts,
+        shed_conns: now.shed_conns - then.shed_conns,
+        timeouts: now.timeouts - then.timeouts,
+        read_stalls: now.read_stalls - then.read_stalls,
+        requests: now.requests - then.requests,
+        alloc_retries: now.alloc_retries - then.alloc_retries,
+        alloc_drops: now.alloc_drops - then.alloc_drops,
+        open_conns: now.open_conns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServerParams {
+        ServerParams {
+            connections: 1_500,
+            baseline_ms: 50,
+            storm_ms: 120,
+            recovery_ms: 180,
+            ..ServerParams::smoke()
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_is_heavily_skewed() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u64;
+        const N: u64 = 10_000;
+        for _ in 0..N {
+            if z.sample(rng.gen::<f64>()) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 100 keys should draw well over half the traffic.
+        assert!(head > N / 2, "head draw {head}/{N}");
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(1.0), 99);
+    }
+
+    #[test]
+    fn storm_and_recovery_gates_hold_on_both_allocators() {
+        for kind in AllocatorKind::BOTH {
+            let r = run_server(kind, &tiny());
+            assert!(r.passed(), "{kind}: {:?}\n{}", r.violations, r.render());
+            assert!(r.totals.requests > 0);
+            assert!(r.storm.shed_accepts > 0, "storm must shed at the backlog");
+            assert!(r.totals.timeouts > 0, "slowloris conns must be evicted");
+            assert_eq!(r.deferred_outstanding_end, 0);
+            assert_eq!(r.used_bytes_after_teardown, 0);
+        }
+    }
+
+    #[test]
+    fn retry_backoff_engages_under_grow_faults() {
+        let params = ServerParams {
+            grow_fault_p: 0.4,
+            // Retries stretch the alloc path by design here; only the
+            // wedge bound applies.
+            p999_alloc_bound_ns: 30_000_000_000,
+            stalled_shard: false,
+            ..tiny()
+        };
+        let r = run_server(AllocatorKind::Prudence, &params);
+        assert!(
+            r.totals.alloc_retries > 0,
+            "p=0.4 grow faults must force retries: {}",
+            r.render()
+        );
+        assert_eq!(r.panics, 0);
+    }
+
+    #[test]
+    fn hard_pressure_trips_load_shedding() {
+        // Low watermarks + epoch backend + a parked shard: storm churn
+        // defers faster than reclamation drains, pressure goes hard, and
+        // the reactors must shed instead of panicking.
+        let params = ServerParams {
+            pressure_watermarks: Some((16, 48)),
+            reclaim: Some(ReclaimBackend::Epoch),
+            churn_per_iter: 64,
+            ..tiny()
+        };
+        let r = run_server(AllocatorKind::Prudence, &params);
+        assert!(r.pressure_hard_seen, "watermarks (16,48) never went hard: {}", r.render());
+        assert!(
+            r.totals.shed_conns > 0 || r.storm.shed_accepts > 0,
+            "hard pressure must shed: {}",
+            r.render()
+        );
+        assert_eq!(r.panics, 0);
+        assert_eq!(r.deferred_outstanding_end, 0);
+    }
+
+    #[test]
+    fn robust_backend_bounds_garbage_with_parked_shard() {
+        let params = ServerParams {
+            reclaim: Some(ReclaimBackend::Hp),
+            ..tiny()
+        };
+        let r = run_server(AllocatorKind::Prudence, &params);
+        assert!(r.passed(), "{:?}\n{}", r.violations, r.render());
+        assert!(
+            r.max_garbage_storm <= r.garbage_bound,
+            "hp must bound garbage: {}",
+            r.render()
+        );
+        assert!(r.stall_warnings >= 1, "parked shard must be blamed");
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let r = run_server(
+            AllocatorKind::Slub,
+            &ServerParams {
+                connections: 400,
+                shards: 2,
+                baseline_ms: 30,
+                storm_ms: 60,
+                recovery_ms: 90,
+                ..ServerParams::smoke()
+            },
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ServerReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.allocator, r.allocator);
+        assert_eq!(back.totals, r.totals);
+        assert_eq!(back.violations, r.violations);
+    }
+}

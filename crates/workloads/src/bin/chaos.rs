@@ -2,12 +2,12 @@
 //! seeds, exiting non-zero if any robustness invariant is violated.
 //!
 //! ```text
-//! chaos [--scenario mixed|stalled-reader|oom-storm|fastpath-flap|all]
+//! chaos [--scenario mixed|stalled-reader|oom-storm|fastpath-flap|server-storm|all]
 //!       [--seed N | --seeds 1,2,3] [--allocator slub|prudence|both]
 //!       [--reclaim epoch|hp|hyaline] [--garbage-bound N]
 //!       [--duration SECS] [--threads N] [--ops N] [--keys N]
-//!       [--limit-mb N] [--grow-p P] [--stall-p P] [--json]
-//!       [--doctor-smoke]
+//!       [--limit-mb N] [--grow-p P] [--stall-p P] [--connections N]
+//!       [--json] [--doctor-smoke]
 //! ```
 //!
 //! `--reclaim` pins the reclamation backend; without it the run honours
@@ -103,6 +103,7 @@ fn main() {
             reclaim: parse_opt(&args, "--reclaim").map(Some).unwrap_or(base.reclaim),
             garbage_bound: parse_opt(&args, "--garbage-bound").unwrap_or(base.garbage_bound),
             doctor: doctor_smoke || base.doctor,
+            connections: parse_opt(&args, "--connections").unwrap_or(base.connections),
             ..base
         };
         for &seed in &seeds {

@@ -61,15 +61,22 @@ pub enum ChaosScenario {
     /// churn: every switchover must stay leak-free and every quiesce
     /// invariant must still hold at the end.
     FastpathFlap,
+    /// The sharded server scenario
+    /// ([`run_server`](crate::apps::run_server)) as a chaos leg: a DoS
+    /// burst plus a parked reactor shard, gated on shed-not-panic,
+    /// deadline eviction, the stalled-reader garbage bound and post-storm
+    /// recovery.
+    ServerStorm,
 }
 
 impl ChaosScenario {
     /// Every scenario, in the order the gating matrix runs them.
-    pub const ALL: [ChaosScenario; 4] = [
+    pub const ALL: [ChaosScenario; 5] = [
         ChaosScenario::Mixed,
         ChaosScenario::StalledReader,
         ChaosScenario::OomStorm,
         ChaosScenario::FastpathFlap,
+        ChaosScenario::ServerStorm,
     ];
 
     /// CLI / report label.
@@ -79,6 +86,7 @@ impl ChaosScenario {
             ChaosScenario::StalledReader => "stalled-reader",
             ChaosScenario::OomStorm => "oom-storm",
             ChaosScenario::FastpathFlap => "fastpath-flap",
+            ChaosScenario::ServerStorm => "server-storm",
         }
     }
 }
@@ -98,9 +106,10 @@ impl std::str::FromStr for ChaosScenario {
             "stalled-reader" => Ok(ChaosScenario::StalledReader),
             "oom-storm" => Ok(ChaosScenario::OomStorm),
             "fastpath-flap" => Ok(ChaosScenario::FastpathFlap),
+            "server-storm" => Ok(ChaosScenario::ServerStorm),
             other => Err(format!(
-                "unknown scenario {other:?} (expected mixed, stalled-reader, oom-storm \
-                 or fastpath-flap)"
+                "unknown scenario {other:?} (expected mixed, stalled-reader, oom-storm, \
+                 fastpath-flap or server-storm)"
             )),
         }
     }
@@ -144,6 +153,9 @@ pub struct ChaosParams {
     /// mid-run: `/metrics` must validate and, for stalled-reader runs,
     /// `/doctor` must name the staller thread while it is pinned.
     pub doctor: bool,
+    /// Server-storm scenario: target concurrent connections (ignored by
+    /// the other scenarios).
+    pub connections: usize,
 }
 
 impl Default for ChaosParams {
@@ -161,6 +173,7 @@ impl Default for ChaosParams {
             reclaim: None,
             garbage_bound: 256,
             doctor: false,
+            connections: 10_000,
         }
     }
 }
@@ -195,6 +208,21 @@ impl ChaosParams {
             ChaosScenario::FastpathFlap => Self {
                 scenario,
                 duration: Some(Duration::from_millis(150)),
+                ..base
+            },
+            // The server scenario manages its own phases, faults and
+            // memory; the chaos-level limit is disabled (0 = uncapped)
+            // and the garbage bound sized to a connection population
+            // rather than the micro-churn probe. The micro-harness grow
+            // faults are off by default: their retry backoff throttles
+            // storm churn enough to erase the epoch side of the garbage
+            // contrast (the retry ladder has its own scenario and unit
+            // coverage), though `--grow-p` can still force them.
+            ChaosScenario::ServerStorm => Self {
+                scenario,
+                limit_bytes: 0,
+                grow_fault_p: 0.0,
+                garbage_bound: 4_096,
                 ..base
             },
         }
@@ -332,8 +360,63 @@ struct WorkerTally {
     violations: Vec<String>,
 }
 
+/// The server-storm leg: delegates to the sharded server scenario and
+/// folds its [`ServerReport`](crate::apps::ServerReport) into the chaos
+/// report shape, so the same runner, seed plumbing and replay flow cover
+/// it. The epoch contrast is required — in the chaos matrix the epoch
+/// backend exceeding the garbage bound under the parked shard is as
+/// load-bearing as the robust backends holding it.
+fn run_server_storm(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
+    let server_params = crate::apps::ServerParams {
+        connections: params.connections,
+        seed: params.seed,
+        grow_fault_p: params.grow_fault_p,
+        reclaim: params.reclaim,
+        garbage_bound: params.garbage_bound,
+        limit_bytes: (params.limit_bytes > 0).then_some(params.limit_bytes),
+        require_epoch_contrast: true,
+        ..crate::apps::ServerParams::default()
+    }
+    .scaled_for_population();
+    let report = crate::apps::run_server(kind, &server_params);
+    ChaosReport {
+        allocator: report.allocator,
+        scenario: ChaosScenario::ServerStorm.label().to_owned(),
+        reclaim_backend: report.reclaim_backend,
+        seed: report.seed,
+        ops_completed: report.totals.requests,
+        oom_errors: report.totals.alloc_retries + report.totals.alloc_drops,
+        injected_oom: report.injected_oom,
+        injected_gp_stalls: 0,
+        panics: report.panics,
+        peak_bytes: report.peak_bytes,
+        limit_bytes: params.limit_bytes,
+        deferred_outstanding_end: report.deferred_outstanding_end,
+        used_bytes_after_teardown: report.used_bytes_after_teardown,
+        membarrier_advances: report.membarrier_advances,
+        fallback_fence_advances: report.fallback_fence_advances,
+        stall_warnings: report.stall_warnings,
+        expedited_gps: report.expedited_gps,
+        ladder_recoveries: 0,
+        pressure_transitions: 0,
+        fastpath_hits: 0,
+        fastpath_fallbacks: 0,
+        fastpath_flips: 0,
+        stalled_garbage_observed: report
+            .stalled_shard
+            .then_some(report.max_garbage_storm),
+        stalled_garbage_bound: report.garbage_bound,
+        blame: report.blame,
+        reclaim: report.reclaim,
+        violations: report.violations,
+    }
+}
+
 /// Runs the chaos workload on one allocator and checks every invariant.
 pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
+    if params.scenario == ChaosScenario::ServerStorm {
+        return run_server_storm(kind, params);
+    }
     let faults = Arc::new(FaultInjector::new(params.seed));
     let grow_site = match kind {
         AllocatorKind::Slub => site::SLUB_GROW,
@@ -373,7 +456,9 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
     let mut slub_tuning = None;
     let mut prudence_config = None;
     match params.scenario {
-        ChaosScenario::Mixed | ChaosScenario::FastpathFlap => {}
+        // ServerStorm never reaches here (it returned above); it carries
+        // no knobs for the micro-churn harness.
+        ChaosScenario::Mixed | ChaosScenario::FastpathFlap | ChaosScenario::ServerStorm => {}
         ChaosScenario::StalledReader => {
             rcu_config = rcu_config.with_stall_threshold(Duration::from_millis(2));
             staller_hold = Duration::from_millis(8);
@@ -1021,7 +1106,7 @@ pub fn run_chaos(kind: AllocatorKind, params: &ChaosParams) -> ChaosReport {
         + obj_stats.fastpath_fallbacks
         + storm_stats.fastpath_fallbacks;
     match params.scenario {
-        ChaosScenario::Mixed => {}
+        ChaosScenario::Mixed | ChaosScenario::ServerStorm => {}
         ChaosScenario::StalledReader => {
             if rcu_stats.stall_warnings == 0 {
                 violations.push("stalled-reader: watchdog never warned".into());

@@ -2,8 +2,13 @@
 //! (who produced the garbage, how old it is, who is blocking reclaim) and
 //! a dependency-free introspection endpoint serving it live.
 //!
-//! The endpoint is one blocking thread over [`std::net::TcpListener`] —
-//! deliberately not an async stack. Three routes:
+//! The endpoint is two blocking threads over [`std::net::TcpListener`] —
+//! an acceptor feeding a small bounded backlog and a single server
+//! draining it, deliberately not an async stack. Every connection gets a
+//! whole-request read/write deadline, so a stalled or slow-dripping
+//! client is evicted instead of wedging later `/metrics` polls; when the
+//! backlog itself fills, further connections are shed with a 503. Three
+//! routes:
 //!
 //! * `GET /metrics` — the full Prometheus exposition
 //!   ([`to_prometheus`]);
@@ -18,8 +23,10 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use pbs_alloc_api::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
@@ -28,6 +35,18 @@ use crate::telemetry_export::to_prometheus;
 
 /// Sites listed in the doctor's "top offenders" table.
 const TOP_SITES: usize = 10;
+
+/// Whole-connection deadline: a client gets this long to deliver its
+/// request head *and* drain the response. A slowloris client dripping a
+/// byte per second used to reset the per-read timeout each time and hold
+/// the serving loop for minutes; the deadline bounds the total hold.
+const CONN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Accepted connections waiting for the serving thread. While one client
+/// is burning its deadline, up to this many polls queue instead of being
+/// refused at the TCP layer; beyond it the accept thread sheds with a
+/// best-effort 503 rather than letting the queue grow without bound.
+const ACCEPT_BACKLOG: usize = 8;
 
 /// Age percentiles of one backend's reclaimed garbage.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -213,12 +232,14 @@ pub struct SnapshotResponse {
     pub doctor: DoctorReport,
 }
 
-/// The live introspection endpoint: one blocking listener thread; see
-/// the module docs for routes. Drop stops the thread.
+/// The live introspection endpoint: an accept thread feeding a bounded
+/// backlog and one serving thread draining it; see the module docs for
+/// routes. Drop stops both threads.
 pub struct DoctorServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+    serve_handle: Option<JoinHandle<()>>,
 }
 
 impl DoctorServer {
@@ -235,25 +256,43 @@ impl DoctorServer {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("pbs-doctor".to_owned())
+        // The endpoint stays a diagnostic tap, not a web server: one
+        // serving thread, so a poll can never contend the workload. The
+        // backlog between the two threads means one stalled client burns
+        // its CONN_DEADLINE without wedging later polls, which queue and
+        // are answered the moment the deadline evicts the staller.
+        let (queue, pending) = sync_channel::<TcpStream>(ACCEPT_BACKLOG);
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("pbs-doctor-accept".to_owned())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if thread_stop.load(Ordering::Acquire) {
+                    if accept_stop.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    // Serve inline: the endpoint is a diagnostic tap, not
-                    // a web server; one slow client delays the next poll,
-                    // never the workload.
+                    match queue.try_send(stream) {
+                        Ok(()) => {}
+                        // Backlog full: shed with a best-effort 503 so
+                        // the client sees an answer, not a hang.
+                        Err(TrySendError::Full(stream)) => shed_busy(stream),
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // Dropping `queue` ends the serving thread's loop.
+            })?;
+        let serve_handle = std::thread::Builder::new()
+            .name("pbs-doctor-serve".to_owned())
+            .spawn(move || {
+                while let Ok(stream) = pending.recv() {
                     let _ = serve_one(stream, &provider);
                 }
             })?;
         Ok(Self {
             addr,
             stop,
-            handle: Some(handle),
+            accept_handle: Some(accept_handle),
+            serve_handle: Some(serve_handle),
         })
     }
 
@@ -268,23 +307,45 @@ impl Drop for DoctorServer {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop; the flag makes the connection a no-op.
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.serve_handle.take() {
             let _ = handle.join();
         }
     }
+}
+
+/// Best-effort "try again" answer for connections shed off a full accept
+/// backlog. A short write deadline keeps even this path bounded.
+fn shed_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(CONN_DEADLINE));
+    let _ = stream.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\n\
+          Content-Length: 21\r\nConnection: close\r\n\r\ndoctor busy; retry\r\n\n",
+    );
 }
 
 fn serve_one<F>(mut stream: TcpStream, provider: &F) -> std::io::Result<()>
 where
     F: Fn() -> TelemetrySnapshot,
 {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let deadline = Instant::now() + CONN_DEADLINE;
     // Read the whole request head before responding: closing the socket
     // with unread client bytes pending turns the close into a TCP reset,
-    // which the polling client sees as a failed read.
+    // which the polling client sees as a failed read. Each read blocks
+    // only until the *connection* deadline, not a fresh per-read timeout,
+    // so a client dripping one byte at a time cannot extend its hold.
     let mut buf = [0u8; 2048];
     let mut len = 0;
     while len < buf.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "client read deadline")
+            })?;
+        stream.set_read_timeout(Some(remaining))?;
         let n = stream.read(&mut buf[len..])?;
         if n == 0 {
             break;
@@ -327,6 +388,16 @@ where
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
+    // The write deadline is whatever the client left of its connection
+    // budget: a poller that reads nothing cannot pin the serving thread
+    // in write_all either.
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "client write deadline")
+        })?;
+    stream.set_write_timeout(Some(remaining))?;
     stream.write_all(response.as_bytes())
 }
 
@@ -410,6 +481,48 @@ mod tests {
         assert_eq!(parsed.doctor.backend, parsed.telemetry.reclaim.backend);
         assert!(http_get(server.addr(), "/nope").is_err(), "404 surfaces as error");
         cache.quiesce();
+        drop(server);
+    }
+
+    /// A client that connects, sends a partial request head and then goes
+    /// silent used to hold the (single) serving loop until it felt like
+    /// leaving; later polls could not even be accepted. With the deadline
+    /// and accept backlog, polls issued *during* the stall queue up and
+    /// succeed as soon as the staller is evicted.
+    #[test]
+    fn stalled_client_cannot_wedge_later_polls() {
+        let bed = Arc::new(Testbed::new(
+            AllocatorKind::Slub,
+            2,
+            RcuConfig::eager(),
+            None,
+        ));
+        let provider_bed = Arc::clone(&bed);
+        let server = DoctorServer::start(move || provider_bed.telemetry()).unwrap();
+        let addr = server.addr();
+
+        // Warm poll proves the endpoint is up before the attack.
+        http_get(addr, "/doctor").expect("baseline poll");
+
+        // The slowloris: partial head, then silence. Kept alive for the
+        // whole test so eviction, not client close, unblocks the server.
+        let mut staller = TcpStream::connect(addr).unwrap();
+        staller.write_all(b"GET /metrics HTT").unwrap();
+
+        // Polls racing the stall: they must queue behind it and still be
+        // answered once the deadline fires, well inside http_get's own
+        // 5s client timeout.
+        let started = Instant::now();
+        for _ in 0..3 {
+            let body = http_get(addr, "/doctor").expect("poll during stall");
+            assert!(body.contains("reclamation doctor"));
+        }
+        assert!(
+            started.elapsed() < CONN_DEADLINE + Duration::from_secs(2),
+            "polls behind a stalled client took {:?}",
+            started.elapsed()
+        );
+        drop(staller);
         drop(server);
     }
 }
